@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces the section 3.3/4.1/4.2 implementation-event numbers:
+ * unaligned references, IB reference rate, cache miss rates (from the
+ * cache hardware counters, as the paper takes them from Clark's cache
+ * study [2] because the UPC cannot see them), and TB miss behaviour
+ * (fully visible to the UPC, since the TB is filled by microcode).
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+    auto tb = an.tbMisses();
+    double instr = static_cast<double>(an.instructions());
+    const auto &hw = m.composite.hw;
+
+    bench::header("Implementation Events (sections 3.3, 4.1, 4.2)");
+    TextTable t("Per average instruction unless noted");
+    t.header({"Event", "Measured", "Paper", "Source"});
+    t.row({"Unaligned D-stream refs",
+           TextTable::num(hw.unalignedRefs / instr, 4),
+           TextTable::num(paper::UnalignedPerInstr, 4), "hw counter"});
+    t.row({"IB references",
+           TextTable::num(hw.ibFills / instr, 2),
+           TextTable::num(paper::IbRefsPerInstr, 2), "hw counter"});
+    t.row({"Cache read misses (I-stream)",
+           TextTable::num(hw.iReadMisses / instr, 2),
+           TextTable::num(paper::CacheIMissPerInstr, 2), "hw counter"});
+    t.row({"Cache read misses (D-stream)",
+           TextTable::num(hw.dReadMisses / instr, 2),
+           TextTable::num(paper::CacheDMissPerInstr, 2), "hw counter"});
+    t.rule();
+    t.row({"TB misses", TextTable::num(tb.missesPerInstr, 3),
+           TextTable::num(paper::TbMissPerInstr, 3), "UPC histogram"});
+    t.row({"  from D-stream", TextTable::num(tb.dMissesPerInstr, 3),
+           TextTable::num(paper::TbDMissPerInstr, 3), "UPC histogram"});
+    t.row({"  from I-stream", TextTable::num(tb.iMissesPerInstr, 3),
+           TextTable::num(paper::TbIMissPerInstr, 3), "UPC histogram"});
+    t.row({"TB miss service (cycles)",
+           TextTable::num(tb.cyclesPerMiss, 1),
+           TextTable::num(paper::TbServiceCycles, 1), "UPC histogram"});
+    t.row({"  of which read stall",
+           TextTable::num(tb.stallCyclesPerMiss, 1),
+           TextTable::num(paper::TbServiceStallCycles, 1),
+           "UPC histogram"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 1: the VAX-11/780 block diagram, rendered as the
+ * model's actual component topology and fixed timing parameters, so a
+ * reader can verify the simulated organization against the paper's.
+ */
+
+#include <cstdio>
+
+#include "cpu/vax780.hh"
+#include "ucode/controlstore.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    cpu::MachineConfig cfg;
+    cpu::Vax780 machine(cfg);
+    const auto &img = ucode::microcodeImage();
+
+    std::puts("");
+    std::puts("Figure 1: VAX-11/780 Block Diagram (as modeled)");
+    std::puts("");
+    std::puts("            +--------- CPU pipeline ----------+");
+    std::puts("  I-stream  |  I-Fetch --> IB --> I-Decode    |");
+    std::puts("  --------->|   (8 bytes)          |          |");
+    std::puts("            |                      v          |");
+    std::puts("            |                    EBOX         |");
+    std::puts("            |             (microcoded, 200ns) |");
+    std::puts("            +-------+--------------+----------+");
+    std::puts("                    | virtual addresses");
+    std::puts("                    v");
+    std::puts("            +-- Translation Buffer --+");
+    std::puts("            | process half | system  |");
+    std::puts("            +-----------+------------+");
+    std::puts("                        | physical addresses");
+    std::puts("                        v");
+    std::puts("      +------- Cache (write-through) -------+");
+    std::puts("      |       + 1-longword write buffer     |");
+    std::puts("      +------------------+------------------+");
+    std::puts("                         | SBI");
+    std::puts("                         v");
+    std::puts("                   Memory (8 MB)");
+    std::puts("");
+
+    const auto &cc = machine.memsys().cache().config();
+    std::printf("Cache:   %u bytes, %u-way, %u-byte blocks, "
+                "write-through, no write-allocate\n",
+                cc.sizeBytes, cc.ways, cc.blockBytes);
+    const auto &tc = machine.tb().config();
+    std::printf("TB:      %u entries (2 x %u, process/system halves), "
+                "microcode fill\n",
+                2 * tc.entriesPerHalf, tc.entriesPerHalf);
+    const auto &sc = machine.memsys().sbi().config();
+    std::printf("SBI:     read latency %u cycles, write occupancy %u "
+                "cycles\n",
+                sc.readLatency, sc.writeLatency);
+    std::printf("Control store: %u words used of %u (one UPC histogram "
+                "bucket each)\n",
+                img.allocated, ucode::ControlStoreSize);
+    std::printf("Timing rules: cycle 200 ns; read hit 1 cycle; read "
+                "miss stall %u cycles; write 1 cycle to initiate, "
+                "stall if <%u cycles after the last; decode 1 "
+                "non-overlapped cycle per instruction\n",
+                sc.readLatency, sc.writeLatency);
+    return 0;
+}

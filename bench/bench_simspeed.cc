@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Host-performance microbenchmarks (google-benchmark): how fast the
+ * model simulates, per machine cycle and per VAX instruction, for the
+ * main usage patterns. Useful when sizing experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/assembler.hh"
+#include "cpu/vax780.hh"
+#include "os/kernel.hh"
+#include "upc/monitor.hh"
+#include "workload/codegen.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+using namespace upc780::arch;
+
+namespace
+{
+
+/** A self-restarting compute loop for bare-machine throughput. */
+std::vector<uint8_t>
+bareLoop()
+{
+    Assembler a(0x1000);
+    Label top = a.here();
+    a.emit(Op::MOVL, {Operand::lit(50), Operand::reg(1)});
+    Label inner = a.here();
+    a.emit(Op::ADDL2, {Operand::reg(1), Operand::reg(0)});
+    a.emit(Op::MOVL, {Operand::reg(0), Operand::disp(0x100, 2)});
+    a.emitBr(Op::SOBGTR, {Operand::reg(1)}, inner);
+    a.emitBr(Op::BRW, top);
+    return a.finish();
+}
+
+void
+BM_BareMachineCycles(benchmark::State &state)
+{
+    cpu::Vax780 machine;
+    auto img = bareLoop();
+    machine.memsys().memory().load(0x1000, img.data(),
+                                   static_cast<uint32_t>(img.size()));
+    machine.ebox().reset(0x1000, false);
+    machine.ebox().gpr(reg::SP) = 0x8000;
+    machine.ebox().gpr(2) = 0x4000;
+
+    for (auto _ : state)
+        machine.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(machine.ebox().instructions()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BareMachineCycles);
+
+void
+BM_BareMachineWithMonitor(benchmark::State &state)
+{
+    cpu::Vax780 machine;
+    auto img = bareLoop();
+    machine.memsys().memory().load(0x1000, img.data(),
+                                   static_cast<uint32_t>(img.size()));
+    machine.ebox().reset(0x1000, false);
+    machine.ebox().gpr(reg::SP) = 0x8000;
+    machine.ebox().gpr(2) = 0x4000;
+    upc::UpcMonitor monitor;
+    machine.attachProbe(&monitor);
+    monitor.start();
+
+    for (auto _ : state)
+        machine.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BareMachineWithMonitor);
+
+void
+BM_FullSystemCycles(benchmark::State &state)
+{
+    cpu::Vax780 machine;
+    os::VmsLite vms(machine);
+    auto profile = wkl::timesharing1Profile();
+    profile.users = 8;
+    for (auto &img : wkl::buildWorkload(profile))
+        vms.addProcess(img);
+    vms.boot();
+
+    for (auto _ : state)
+        machine.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(machine.ebox().instructions()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSystemCycles);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto profile = wkl::educationalProfile();
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        wkl::ProgramGenerator gen(profile, seed++);
+        auto img = gen.generate();
+        benchmark::DoNotOptimize(img.p0Image.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_MicrocodeImageLookup(benchmark::State &state)
+{
+    // Cost of the analyzer-facing image accessors (hot in analysis).
+    const auto &img = ucode::microcodeImage();
+    uint32_t a = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            img.rowOf(static_cast<ucode::UAddr>(a)));
+        a = (a + 1) % img.allocated;
+        if (a == 0)
+            a = 1;
+    }
+}
+BENCHMARK(BM_MicrocodeImageLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

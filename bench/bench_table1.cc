@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table 1: opcode group frequency, derived from the UPC
+ * histogram's execute-entry counts exactly as the paper describes
+ * (§3.1: the method cannot distinguish opcodes that share microcode,
+ * but group frequencies are exact).
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+    auto freq = an.opcodeGroupFrequency();
+
+    bench::header("Table 1: Opcode Group Frequency");
+    TextTable t("Opcode group frequency (percent of instructions)");
+    t.header({"Group", "Measured", "Paper"});
+    static const double ref[] = {
+        paper::Table1Simple, paper::Table1Field, paper::Table1Float,
+        paper::Table1CallRet, paper::Table1System,
+        paper::Table1Character, paper::Table1Decimal,
+    };
+    for (size_t g = 0; g < size_t(arch::Group::NumGroups); ++g) {
+        t.row({std::string(arch::groupName(static_cast<arch::Group>(g))),
+               TextTable::pct(freq[g]), TextTable::pct(ref[g])});
+    }
+    t.rule();
+    t.row({"instructions measured",
+           std::to_string(an.instructions()), ""});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table 2: PC-changing instruction frequency and the
+ * proportion that actually branch, from execute-entry and taken-path
+ * micro-address counts.
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+    auto rows = an.pcChanging();
+    double instr = static_cast<double>(an.instructions());
+
+    bench::header("Table 2: PC-Changing Instructions");
+    TextTable t("PC-changing instructions");
+    t.header({"Branch type", "% of all", "(paper)", "% taken", "(paper)",
+              "taken % of all", "(paper)"});
+
+    // Order matching the paper's rows.
+    static const arch::PcClass order[] = {
+        arch::PcClass::SimpleCond, arch::PcClass::Loop,
+        arch::PcClass::LowBit, arch::PcClass::Subroutine,
+        arch::PcClass::Uncond, arch::PcClass::Case,
+        arch::PcClass::BitBranch, arch::PcClass::Procedure,
+        arch::PcClass::SystemBr,
+    };
+    double tot = 0, tot_taken = 0;
+    for (size_t i = 0; i < 9; ++i) {
+        const auto &r = rows[size_t(order[i])];
+        tot += static_cast<double>(r.executed);
+        tot_taken += static_cast<double>(r.taken);
+        double pct = 100.0 * static_cast<double>(r.executed) / instr;
+        double tk = r.executed ? 100.0 * static_cast<double>(r.taken) /
+                                     static_cast<double>(r.executed)
+                               : 0.0;
+        double toa = 100.0 * static_cast<double>(r.taken) / instr;
+        t.row({paper::Table2[i].name, TextTable::num(pct, 1),
+               TextTable::num(paper::Table2[i].pctOfAll, 1),
+               TextTable::num(tk, 0),
+               TextTable::num(paper::Table2[i].pctBranch, 0),
+               TextTable::num(toa, 1),
+               TextTable::num(paper::Table2[i].branchOfAll, 1)});
+    }
+    t.rule();
+    t.row({"TOTAL", TextTable::num(100.0 * tot / instr, 1),
+           TextTable::num(paper::Table2TotalPct, 1),
+           TextTable::num(tot ? 100.0 * tot_taken / tot : 0, 0),
+           TextTable::num(paper::Table2TotalBranchPct, 0),
+           TextTable::num(100.0 * tot_taken / instr, 1),
+           TextTable::num(paper::Table2TotalBranchOfAll, 1)});
+    t.print();
+    return 0;
+}

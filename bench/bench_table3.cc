@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table 3: specifiers and branch displacements per average
+ * instruction, from SPEC1/SPEC2-6 routine entry counts and
+ * branch-format execute entries.
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+
+    bench::header("Table 3: Specifiers and Branch Displacements per "
+                  "Average Instruction");
+    TextTable t("Per average instruction");
+    t.header({"", "Measured", "Paper"});
+    t.row({"First specifiers", TextTable::num(an.firstSpecsPerInstr()),
+           TextTable::num(paper::Table3First)});
+    t.row({"Other specifiers", TextTable::num(an.otherSpecsPerInstr()),
+           TextTable::num(paper::Table3Other)});
+    t.row({"Branch displacements",
+           TextTable::num(an.branchDispsPerInstr()),
+           TextTable::num(paper::Table3BranchDisp)});
+    t.rule();
+    t.row({"Specifiers total",
+           TextTable::num(an.firstSpecsPerInstr() +
+                          an.otherSpecsPerInstr()),
+           TextTable::num(paper::Table3First + paper::Table3Other)});
+    t.print();
+    return 0;
+}

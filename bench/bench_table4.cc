@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 4: operand specifier mode distribution for first
+ * and later specifiers, plus the fraction of indexed specifiers.
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+std::string
+pctOrDash(double v)
+{
+    return v < 0 ? "-" : TextTable::num(v, 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+    auto d = an.specifierDist();
+
+    double t1 = static_cast<double>(d.total[1]);
+    double t0 = static_cast<double>(d.total[0]);
+    double tt = t1 + t0;
+
+    bench::header("Table 4: Operand Specifier Distribution (percent)");
+    TextTable t("Specifier modes; measured (paper)");
+    t.header({"Mode", "SPEC1", "(p)", "SPEC2-6", "(p)", "Total", "(p)"});
+
+    // Row order matching the paper.
+    static const arch::SpecClass order[] = {
+        arch::SpecClass::Register, arch::SpecClass::ShortLiteral,
+        arch::SpecClass::Immediate, arch::SpecClass::Displacement,
+        arch::SpecClass::RegDeferred, arch::SpecClass::AutoIncrement,
+        arch::SpecClass::AutoDecrement, arch::SpecClass::DispDeferred,
+        arch::SpecClass::Absolute, arch::SpecClass::AutoIncDeferred,
+    };
+    for (size_t i = 0; i < 10; ++i) {
+        size_t c = size_t(order[i]);
+        double p1 = t1 ? 100.0 * static_cast<double>(d.byClass[1][c]) / t1
+                       : 0;
+        double p0 = t0 ? 100.0 * static_cast<double>(d.byClass[0][c]) / t0
+                       : 0;
+        double pt = tt ? 100.0 * static_cast<double>(d.classTotal(
+                                     order[i])) / tt
+                       : 0;
+        t.row({paper::Table4[i].name, TextTable::num(p1, 1),
+               pctOrDash(paper::Table4[i].spec1), TextTable::num(p0, 1),
+               pctOrDash(paper::Table4[i].spec26), TextTable::num(pt, 1),
+               pctOrDash(paper::Table4[i].total)});
+    }
+    t.rule();
+    t.row({"Percent indexed",
+           TextTable::num(t1 ? 100.0 * d.indexed[1] / t1 : 0, 1),
+           TextTable::num(paper::Table4IndexedSpec1, 1),
+           TextTable::num(t0 ? 100.0 * d.indexed[0] / t0 : 0, 1),
+           TextTable::num(paper::Table4IndexedSpec26, 1),
+           TextTable::num(
+               tt ? 100.0 * (d.indexed[0] + d.indexed[1]) / tt : 0, 1),
+           TextTable::num(paper::Table4IndexedTotal, 1)});
+    t.print();
+    return 0;
+}

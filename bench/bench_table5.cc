@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Table 5: D-stream reads and writes per average
+ * instruction, attributed to the activity (specifier processing,
+ * execute phase by group, overheads) whose microcode made them.
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+
+    bench::header("Table 5: D-stream Reads and Writes per Average "
+                  "Instruction");
+    TextTable t("By originating activity; measured (paper)");
+    t.header({"Source", "Reads", "(p)", "Writes", "(p)"});
+
+    using ucode::Row;
+    struct Line
+    {
+        const char *name;
+        Row row;
+        double pr, pw;  //!< paper reads/writes
+    };
+    static const Line lines[] = {
+        {"Spec1", Row::Spec1, 0.306, 0.029},
+        {"Spec2-6", Row::Spec26, 0.148, 0.033},
+        {"Simple", Row::ExSimple, 0.049, 0.007},
+        {"Field", Row::ExField, 0.029, 0.008},
+        {"Float", Row::ExFloat, 0.000, 0.008},
+        {"Call/Ret", Row::ExCallRet, 0.133, 0.130},
+        {"System", Row::ExSystem, 0.015, 0.014},
+        {"Character", Row::ExCharacter, 0.039, 0.046},
+        {"Decimal", Row::ExDecimal, 0.002, 0.001},
+    };
+    double mr = 0, mw = 0;
+    for (const Line &l : lines) {
+        auto rr = an.refsFor(l.row);
+        mr += rr.reads;
+        mw += rr.writes;
+        t.row({l.name, TextTable::num(rr.reads), TextTable::num(l.pr),
+               TextTable::num(rr.writes), TextTable::num(l.pw)});
+    }
+    // "Other": decode, branch displacement, interrupts, memory
+    // management, abort.
+    upc::RefRow other;
+    for (Row r : {Row::Decode, Row::BDisp, Row::IntExcept, Row::MemMgmt,
+                  Row::Abort}) {
+        auto rr = an.refsFor(r);
+        other.reads += rr.reads;
+        other.writes += rr.writes;
+    }
+    mr += other.reads;
+    mw += other.writes;
+    t.row({"Other", TextTable::num(other.reads), TextTable::num(0.062),
+           TextTable::num(other.writes), TextTable::num(0.008)});
+    t.rule();
+    t.row({"TOTAL", TextTable::num(mr),
+           TextTable::num(paper::Table5TotalReads), TextTable::num(mw),
+           TextTable::num(paper::Table5TotalWrites)});
+    t.print();
+
+    std::printf("Read/write ratio: measured %.2f : 1, paper about "
+                "2 : 1 (section 3.3.1)\n",
+                mw > 0 ? mr / mw : 0.0);
+    return 0;
+}

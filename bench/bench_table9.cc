@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table 9: execute-phase cycles per instruction *within*
+ * each opcode group (unweighted by group frequency), exclusive of
+ * specifier decode and processing.
+ */
+
+#include "bench/harness.hh"
+#include "bench/paper.hh"
+#include "common/table.hh"
+
+using namespace upc780;
+
+int
+main()
+{
+    bench::Measurement m = bench::runComposite();
+    auto an = m.analyzer();
+
+    bench::header("Table 9: Cycles per Instruction Within Each Group");
+    TextTable t("Execute phase only, per group instruction");
+    t.header({"Group", "Compute", "Read", "R-Stall", "Write", "W-Stall",
+              "Total", "(paper)"});
+
+    static const arch::Group order[] = {
+        arch::Group::Simple, arch::Group::Field, arch::Group::Float,
+        arch::Group::CallRet, arch::Group::System,
+        arch::Group::Character, arch::Group::Decimal,
+    };
+    for (size_t i = 0; i < 7; ++i) {
+        auto c = an.groupCycles(order[i]);
+        double total = 0;
+        for (double v : c)
+            total += v;
+        t.row({std::string(arch::groupName(order[i])),
+               TextTable::num(c[size_t(upc::Col::Compute)], 2),
+               TextTable::num(c[size_t(upc::Col::Read)], 2),
+               TextTable::num(c[size_t(upc::Col::RStall)], 2),
+               TextTable::num(c[size_t(upc::Col::Write)], 2),
+               TextTable::num(c[size_t(upc::Col::WStall)], 2),
+               TextTable::num(total, 2),
+               TextTable::num(paper::Table9[i].total, 2)});
+    }
+    t.print();
+
+    auto cr = an.groupCycles(arch::Group::CallRet);
+    std::printf("Call/Ret reads+writes per instruction: %.1f (paper: "
+                "about 4 each way -> about 8 registers pushed/popped "
+                "per call+return pair)\n",
+                cr[size_t(upc::Col::Read)] +
+                    cr[size_t(upc::Col::Write)]);
+    auto ch = an.groupCycles(arch::Group::Character);
+    std::printf("Character reads+writes per instruction: %.1f "
+                "longwords (paper: 9 to 11 -> 36-44 byte strings)\n",
+                ch[size_t(upc::Col::Read)] +
+                    ch[size_t(upc::Col::Write)]);
+    return 0;
+}

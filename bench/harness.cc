@@ -1,0 +1,48 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ucode/controlstore.hh"
+#include "workload/profile.hh"
+
+namespace bench
+{
+
+using namespace upc780;
+
+Measurement
+runComposite()
+{
+    uint64_t instr = 120000;
+    uint64_t warmup = 20000;
+    if (const char *e = std::getenv("UPC780_INSTR"))
+        instr = strtoull(e, nullptr, 0);
+    if (const char *e = std::getenv("UPC780_WARMUP"))
+        warmup = strtoull(e, nullptr, 0);
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = instr;
+    cfg.warmupInstructions = warmup;
+    sim::ExperimentRunner runner(cfg);
+
+    std::fprintf(stderr,
+                 "[harness] measuring %llu instructions per workload "
+                 "across the five paper workloads...\n",
+                 static_cast<unsigned long long>(instr));
+
+    Measurement m;
+    m.composite = runner.runComposite(wkl::paperWorkloads());
+    m.image = &ucode::microcodeImage();
+    return m;
+}
+
+void
+header(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("(composite of the five paper workloads; measured vs. "
+                "Emer & Clark 1984)\n\n");
+}
+
+} // namespace bench

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared bench harness: runs the paper's five-workload composite once
+ * (configurable via environment variables) and hands every table bench
+ * the same measurement, like the paper's single data set feeding all
+ * of its analyses.
+ *
+ * Environment knobs:
+ *   UPC780_INSTR  - measured instructions per workload (default 120k)
+ *   UPC780_WARMUP - warm-up instructions per workload (default 20k)
+ */
+
+#ifndef UPC780_BENCH_HARNESS_HH
+#define UPC780_BENCH_HARNESS_HH
+
+#include <string>
+
+#include "sim/experiment.hh"
+#include "upc/analyzer.hh"
+
+namespace bench
+{
+
+/** The composite measurement plus its analyzer. */
+struct Measurement
+{
+    upc780::sim::CompositeResult composite;
+    const upc780::ucode::MicrocodeImage *image = nullptr;
+
+    upc780::upc::HistogramAnalyzer
+    analyzer() const
+    {
+        return {composite.histogram, *image};
+    }
+};
+
+/** Run the composite of the paper's five workloads. */
+Measurement runComposite();
+
+/** Print the standard bench header. */
+void header(const std::string &title);
+
+} // namespace bench
+
+#endif // UPC780_BENCH_HARNESS_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The paper's point that a UPC histogram is "a general resource from
+ * which the answers to many questions ... can be obtained" (§2.2):
+ * run a workload once, then slice the same raw histogram three
+ * different ways — hottest microinstructions, cycles by activity row,
+ * and stall concentration.
+ *
+ * Usage: microcode_profile [instructions]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/analyzer.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t instructions =
+        argc > 1 ? strtoull(argv[1], nullptr, 0) : 120000;
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = instructions;
+    cfg.warmupInstructions = instructions / 8;
+    sim::ExperimentRunner runner(cfg);
+    auto r = runner.runWorkload(wkl::educationalProfile());
+
+    const auto &img = ucode::microcodeImage();
+    const auto &h = r.histogram;
+
+    // ----- view 1: hottest control-store locations -----------------------
+    struct Bucket
+    {
+        ucode::UAddr addr;
+        uint64_t count;
+        uint64_t stall;
+    };
+    std::vector<Bucket> hot;
+    for (uint32_t a = 0; a < img.allocated; ++a) {
+        ucode::UAddr u = static_cast<ucode::UAddr>(a);
+        if (h.count(u) || h.stall(u))
+            hot.push_back({u, h.count(u), h.stall(u)});
+    }
+    std::sort(hot.begin(), hot.end(), [](const Bucket &x, const Bucket &y) {
+        return x.count + x.stall > y.count + y.stall;
+    });
+
+    uint64_t cycles = h.totalCycles();
+    std::printf("Top 15 control-store locations by cycles "
+                "(%llu total cycles, %u words exercised):\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned>(hot.size()));
+    std::printf("  uPC    activity    executions      stalls   %% of "
+                "cycles\n");
+    for (size_t i = 0; i < hot.size() && i < 15; ++i) {
+        const Bucket &b = hot[i];
+        std::printf("  %4u   %-10s %11llu %11llu   %5.1f%%\n", b.addr,
+                    std::string(ucode::rowName(img.rowOf(b.addr)))
+                        .c_str(),
+                    static_cast<unsigned long long>(b.count),
+                    static_cast<unsigned long long>(b.stall),
+                    100.0 * static_cast<double>(b.count + b.stall) /
+                        static_cast<double>(cycles));
+    }
+
+    // ----- view 2: cycles by activity row ---------------------------------
+    upc::HistogramAnalyzer an(h, img);
+    auto m = an.timingMatrix();
+    std::printf("\nCycles per instruction by activity:\n");
+    for (size_t rr = 1; rr < size_t(ucode::Row::NumRows); ++rr) {
+        ucode::Row row = static_cast<ucode::Row>(rr);
+        double t = m.rowTotal(row);
+        if (t < 0.0005)
+            continue;
+        int bar = static_cast<int>(t * 25);
+        std::printf("  %-10s %6.3f  %.*s\n",
+                    std::string(ucode::rowName(row)).c_str(), t, bar,
+                    "########################################");
+    }
+
+    // ----- view 3: where stalls concentrate --------------------------------
+    std::sort(hot.begin(), hot.end(), [](const Bucket &x, const Bucket &y) {
+        return x.stall > y.stall;
+    });
+    std::printf("\nMost-stalled microinstructions:\n");
+    for (size_t i = 0; i < hot.size() && i < 5; ++i) {
+        const Bucket &b = hot[i];
+        if (!b.stall)
+            break;
+        double per = b.count
+                         ? static_cast<double>(b.stall) /
+                               static_cast<double>(b.count)
+                         : 0;
+        std::printf("  uPC %4u (%s): %.2f stall cycles per "
+                    "execution\n", b.addr,
+                    std::string(ucode::rowName(img.rowOf(b.addr)))
+                        .c_str(),
+                    per);
+    }
+    return 0;
+}

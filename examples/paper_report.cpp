@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Run the paper's complete composite experiment and emit the full
+ * measurement report — every table the paper publishes — as text or
+ * markdown.
+ *
+ * Usage: paper_report [instructions-per-workload] [--markdown]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/report.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t instructions = 100000;
+    upc::ReportOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--markdown"))
+            opt.markdown = true;
+        else
+            instructions = strtoull(argv[i], nullptr, 0);
+    }
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = instructions;
+    cfg.warmupInstructions = instructions / 6;
+    sim::ExperimentRunner runner(cfg);
+    auto composite = runner.runComposite(wkl::paperWorkloads());
+
+    upc::HistogramAnalyzer analyzer(composite.histogram,
+                                    ucode::microcodeImage());
+    upc::ReportHwInputs hw;
+    hw.ibFills = composite.hw.ibFills;
+    hw.iReadMisses = composite.hw.iReadMisses;
+    hw.dReadMisses = composite.hw.dReadMisses;
+    hw.unalignedRefs = composite.hw.unalignedRefs;
+    hw.softIntRequests = composite.osStats.softIntRequests();
+
+    opt.title = "VAX-11/780 UPC Measurement Report (composite of five "
+                "workloads)";
+    std::fputs(upc::writeReport(analyzer, hw, opt).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's core experiment in miniature: boot VMS-lite with a
+ * population of simulated timesharing users, measure a live interval
+ * with the UPC monitor, and print the instruction-timing breakdown.
+ *
+ * Usage: timesharing_study [users] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/analyzer.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+int
+main(int argc, char **argv)
+{
+    uint32_t users = argc > 1 ? atoi(argv[1]) : 15;
+    uint64_t instructions = argc > 2 ? strtoull(argv[2], nullptr, 0)
+                                     : 150000;
+
+    wkl::WorkloadProfile profile = wkl::timesharing1Profile();
+    profile.users = users;
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = instructions;
+    cfg.warmupInstructions = instructions / 8;
+    sim::ExperimentRunner runner(cfg);
+
+    std::printf("Measuring %llu instructions of '%s' with %u users...\n",
+                static_cast<unsigned long long>(instructions),
+                profile.name.c_str(), users);
+    sim::WorkloadResult r = runner.runWorkload(profile);
+
+    upc::HistogramAnalyzer an(r.histogram, ucode::microcodeImage());
+    std::printf("\nResults:\n");
+    std::printf("  instructions:        %llu\n",
+                static_cast<unsigned long long>(an.instructions()));
+    std::printf("  cycles/instruction:  %.2f  (paper: 10.6)\n",
+                an.cpi());
+    std::printf("  at 200 ns/cycle:     %.2f us per instruction, "
+                "%.0f kIPS\n",
+                an.cpi() * 0.2, 5000.0 / an.cpi());
+
+    auto m = an.timingMatrix();
+    std::printf("\n  where the time goes (cycles/instruction):\n");
+    for (size_t c = 0; c < size_t(upc::Col::NumCols); ++c) {
+        std::printf("    %-9s %6.3f\n",
+                    std::string(upc::colName(
+                        static_cast<upc::Col>(c))).c_str(),
+                    m.colTotal(static_cast<upc::Col>(c)));
+    }
+
+    std::printf("\n  OS contribution:\n");
+    std::printf("    interrupt headway:      %6.0f instructions\n",
+                an.interruptHeadway());
+    std::printf("    context-switch headway: %6.0f instructions\n",
+                an.contextSwitchHeadway());
+    std::printf("    system services:        %6llu\n",
+                static_cast<unsigned long long>(r.osStats.syscalls));
+    auto tb = an.tbMisses();
+    std::printf("    TB misses/instruction:  %6.3f (%.1f cycles each)\n",
+                tb.missesPerInstr, tb.cyclesPerMiss);
+    return 0;
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Command-line front end:
+ *
+ *   vaxsim_cli run [workload] [instructions]   measure + summary
+ *   vaxsim_cli report [instructions]           full paper-style report
+ *   vaxsim_cli trace [workload] [n]            last n retired instrs
+ *   vaxsim_cli disasm <file> [base]            disassemble raw bytes
+ *   vaxsim_cli ucode [--dump]                  microprogram stats/listing
+ *   vaxsim_cli collect <file> [workload] [n]   save a raw histogram
+ *   vaxsim_cli analyze <file>                  report from a saved one
+ *
+ * Workloads: ts1 ts2 edu sci com (default ts1).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "arch/decoder.hh"
+#include "cpu/trace.hh"
+#include "os/kernel.hh"
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/report.hh"
+#include "workload/codegen.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+wkl::WorkloadProfile
+profileByName(const char *name)
+{
+    if (!std::strcmp(name, "ts2"))
+        return wkl::timesharing2Profile();
+    if (!std::strcmp(name, "edu"))
+        return wkl::educationalProfile();
+    if (!std::strcmp(name, "sci"))
+        return wkl::scientificProfile();
+    if (!std::strcmp(name, "com"))
+        return wkl::commercialProfile();
+    return wkl::timesharing1Profile();
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    auto profile = profileByName(argc > 0 ? argv[0] : "ts1");
+    uint64_t n = argc > 1 ? strtoull(argv[1], nullptr, 0) : 100000;
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = n;
+    cfg.warmupInstructions = n / 6;
+    auto r = sim::ExperimentRunner(cfg).runWorkload(profile);
+    upc::HistogramAnalyzer an(r.histogram, ucode::microcodeImage());
+
+    std::printf("%s\n", profile.name.c_str());
+    std::printf("  %llu instructions, CPI %.3f (%.0f kIPS at 200 ns)\n",
+                static_cast<unsigned long long>(an.instructions()),
+                an.cpi(), 5000.0 / an.cpi());
+    auto tb = an.tbMisses();
+    std::printf("  TB miss/instr %.4f, interrupt headway %.0f, "
+                "context-switch headway %.0f\n",
+                tb.missesPerInstr, an.interruptHeadway(),
+                an.contextSwitchHeadway());
+    return 0;
+}
+
+int
+cmdReport(int argc, char **argv)
+{
+    uint64_t n = argc > 0 ? strtoull(argv[0], nullptr, 0) : 60000;
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = n;
+    cfg.warmupInstructions = n / 6;
+    auto c = sim::ExperimentRunner(cfg).runComposite(
+        wkl::paperWorkloads());
+    upc::HistogramAnalyzer an(c.histogram, ucode::microcodeImage());
+    upc::ReportHwInputs hw;
+    hw.ibFills = c.hw.ibFills;
+    hw.iReadMisses = c.hw.iReadMisses;
+    hw.dReadMisses = c.hw.dReadMisses;
+    hw.unalignedRefs = c.hw.unalignedRefs;
+    hw.softIntRequests = c.osStats.softIntRequests();
+    std::fputs(upc::writeReport(an, hw).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    auto profile = profileByName(argc > 0 ? argv[0] : "ts1");
+    uint64_t n = argc > 1 ? strtoull(argv[1], nullptr, 0) : 40;
+    profile.users = 4;
+
+    cpu::Vax780 machine;
+    os::VmsLite vms(machine, {});
+    for (auto &img : wkl::buildWorkload(profile))
+        vms.addProcess(img);
+    cpu::InstrTracer tracer(machine, n);
+    machine.attachProbe(&tracer);
+    vms.boot();
+    machine.run(300000);
+    std::fputs(tracer.str().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdDisasm(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "disasm: missing file\n");
+        return 2;
+    }
+    std::ifstream in(argv[0], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "disasm: cannot open %s\n", argv[0]);
+        return 2;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    uint32_t base = argc > 1 ? static_cast<uint32_t>(
+                                   strtoul(argv[1], nullptr, 0))
+                             : 0;
+    uint32_t pos = 0;
+    while (pos < bytes.size()) {
+        arch::DecodedInst di;
+        uint32_t n = arch::decodeInstruction(
+            {bytes.data() + pos, bytes.size() - pos}, di);
+        if (!n) {
+            std::printf("%08x: .byte 0x%02x\n", base + pos, bytes[pos]);
+            ++pos;
+            continue;
+        }
+        std::printf("%08x: %s\n", base + pos, di.str().c_str());
+        pos += n;
+    }
+    return 0;
+}
+
+int
+cmdUcode(int argc, char **argv)
+{
+    const auto &img = ucode::microcodeImage();
+    if (argc > 0 && !std::strcmp(argv[0], "--dump")) {
+        // Full microprogram listing, one control word per line.
+        for (uint32_t a = 1; a < img.allocated; ++a) {
+            const auto &op = img.ops[a];
+            std::printf("%4u  %-10s  %-14s %-4s %-7s %-8s",
+                        a,
+                        std::string(ucode::rowName(img.rowOf(
+                            static_cast<ucode::UAddr>(a)))).c_str(),
+                        std::string(ucode::dpName(op.dp)).c_str(),
+                        std::string(ucode::memName(op.mem)).c_str(),
+                        std::string(ucode::ibName(op.ib)).c_str(),
+                        std::string(ucode::seqName(op.seq)).c_str());
+            if (op.target)
+                std::printf(" ->%u", op.target);
+            if (op.arg)
+                std::printf(" #%u", op.arg);
+            auto se = img.specEntries.find(
+                static_cast<ucode::UAddr>(a));
+            if (se != img.specEntries.end()) {
+                std::printf("   ; %s spec, %s%s",
+                            se->second.first ? "first" : "later",
+                            std::string(arch::specClassName(
+                                se->second.cls)).c_str(),
+                            se->second.indexed ? " [indexed]" : "");
+            }
+            auto ee = img.execEntries.find(
+                static_cast<ucode::UAddr>(a));
+            if (ee != img.execEntries.end()) {
+                std::printf("   ; exec entry, %s",
+                            std::string(arch::groupName(
+                                ee->second.group)).c_str());
+            }
+            std::printf("\n");
+        }
+        return 0;
+    }
+    std::printf("control store: %u/%u words\n", img.allocated,
+                ucode::ControlStoreSize);
+    uint32_t by_row[size_t(ucode::Row::NumRows)] = {};
+    for (uint32_t a = 1; a < img.allocated; ++a)
+        ++by_row[size_t(img.rowOf(static_cast<ucode::UAddr>(a)))];
+    for (size_t r = 1; r < size_t(ucode::Row::NumRows); ++r) {
+        std::printf("  %-10s %5u words\n",
+                    std::string(ucode::rowName(
+                        static_cast<ucode::Row>(r))).c_str(),
+                    by_row[r]);
+    }
+    std::printf("annotated: %zu specifier entries, %zu execute "
+                "entries, %zu taken-branch words\n",
+                img.specEntries.size(), img.execEntries.size(),
+                img.takenEntries.size());
+    return 0;
+}
+
+int
+cmdCollect(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "collect: missing output file\n");
+        return 2;
+    }
+    auto profile = profileByName(argc > 1 ? argv[1] : "ts1");
+    uint64_t n = argc > 2 ? strtoull(argv[2], nullptr, 0) : 60000;
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = n;
+    cfg.warmupInstructions = n / 6;
+    auto r = sim::ExperimentRunner(cfg).runWorkload(profile);
+    if (!r.histogram.saveTo(argv[0])) {
+        std::fprintf(stderr, "collect: cannot write %s\n", argv[0]);
+        return 1;
+    }
+    std::printf("saved %llu cycles of '%s' to %s\n",
+                static_cast<unsigned long long>(
+                    r.histogram.totalCycles()),
+                profile.name.c_str(), argv[0]);
+    return 0;
+}
+
+int
+cmdAnalyze(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "analyze: missing histogram file\n");
+        return 2;
+    }
+    upc::Histogram h;
+    if (!h.loadFrom(argv[0])) {
+        std::fprintf(stderr, "analyze: cannot read %s\n", argv[0]);
+        return 1;
+    }
+    upc::HistogramAnalyzer an(h, ucode::microcodeImage());
+    std::fputs(upc::writeReport(an, {}).c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s run|report|trace|disasm|ucode|collect|analyze ...\n",
+                     argv[0]);
+        return 2;
+    }
+    const char *cmd = argv[1];
+    if (!std::strcmp(cmd, "run"))
+        return cmdRun(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "report"))
+        return cmdReport(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "trace"))
+        return cmdTrace(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "disasm"))
+        return cmdDisasm(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "ucode"))
+        return cmdUcode(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "collect"))
+        return cmdCollect(argc - 2, argv + 2);
+    if (!std::strcmp(cmd, "analyze"))
+        return cmdAnalyze(argc - 2, argv + 2);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd);
+    return 2;
+}

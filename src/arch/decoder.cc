@@ -1,0 +1,71 @@
+#include "arch/decoder.hh"
+
+#include <cstdio>
+
+#include "common/bitfield.hh"
+
+namespace upc780::arch
+{
+
+uint32_t
+decodeInstruction(std::span<const uint8_t> bytes, DecodedInst &out)
+{
+    out = DecodedInst{};
+    if (bytes.empty())
+        return 0;
+
+    out.opcode = bytes[0];
+    const OpcodeInfo &info = opcodeInfo(out.opcode);
+    if (!info.valid())
+        return 0;
+    out.info = &info;
+
+    uint32_t pos = 1;
+    for (const OperandSpec &s : info.specs()) {
+        if (isBranchDisp(s.access)) {
+            uint32_t n = (s.access == Access::BranchB) ? 1 : 2;
+            if (pos + n > bytes.size())
+                return 0;
+            uint32_t raw = bytes[pos];
+            if (n == 2)
+                raw |= static_cast<uint32_t>(bytes[pos + 1]) << 8;
+            out.branchDisp = sext(raw, static_cast<int>(8 * n));
+            out.branchDispSize = static_cast<uint8_t>(n);
+            out.hasBranchDisp = true;
+            pos += n;
+        } else {
+            DecodedSpecifier spec;
+            uint32_t n = decodeSpecifier(bytes.subspan(pos), s.type,
+                                         spec);
+            if (n == 0)
+                return 0;
+            out.specs[out.numSpecs++] = spec;
+            pos += n;
+        }
+    }
+    out.length = pos;
+    return pos;
+}
+
+std::string
+DecodedInst::str() const
+{
+    if (!info)
+        return "(invalid)";
+    std::string s(info->mnemonic);
+    bool first = true;
+    for (unsigned i = 0; i < numSpecs; ++i) {
+        s += first ? " " : ", ";
+        s += specs[i].str();
+        first = false;
+    }
+    if (hasBranchDisp) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%+d", branchDisp);
+        s += first ? " " : ", ";
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace upc780::arch

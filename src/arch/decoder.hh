@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Architectural instruction decoder and disassembler. The IBox uses
+ * the per-specifier decode from specifier.hh incrementally; this whole-
+ * instruction decoder serves the assembler round-trip tests, the
+ * disassembler, and workload validation.
+ */
+
+#ifndef UPC780_ARCH_DECODER_HH
+#define UPC780_ARCH_DECODER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "arch/opcodes.hh"
+#include "arch/specifier.hh"
+
+namespace upc780::arch
+{
+
+/** A fully decoded VAX instruction (excluding any CASE table). */
+struct DecodedInst
+{
+    uint8_t opcode = 0;
+    const OpcodeInfo *info = nullptr;
+    DecodedSpecifier specs[6];
+    uint8_t numSpecs = 0;          //!< data operand specifiers decoded
+    bool hasBranchDisp = false;
+    int32_t branchDisp = 0;
+    uint8_t branchDispSize = 0;    //!< 1 or 2 bytes
+    uint32_t length = 0;           //!< total bytes incl. branch disp
+
+    /** Render in VAX assembler notation. */
+    std::string str() const;
+};
+
+/**
+ * Decode one instruction starting at bytes[0].
+ *
+ * @retval bytes consumed, or 0 on truncated stream / invalid opcode /
+ *         invalid specifier encoding.
+ */
+uint32_t decodeInstruction(std::span<const uint8_t> bytes,
+                           DecodedInst &out);
+
+} // namespace upc780::arch
+
+#endif // UPC780_ARCH_DECODER_HH

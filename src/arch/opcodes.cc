@@ -1,0 +1,420 @@
+#include "arch/opcodes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace upc780::arch
+{
+
+namespace
+{
+
+// Shorthand operand-spec constants, named <access><type> after the
+// VAX Architecture Reference Manual notation (e.g. rl = read.long).
+constexpr OperandSpec rb{Access::Read, DataType::Byte};
+constexpr OperandSpec rw{Access::Read, DataType::Word};
+constexpr OperandSpec rl{Access::Read, DataType::Long};
+constexpr OperandSpec rq{Access::Read, DataType::Quad};
+constexpr OperandSpec rf{Access::Read, DataType::FFloat};
+constexpr OperandSpec rd{Access::Read, DataType::DFloat};
+constexpr OperandSpec wb{Access::Write, DataType::Byte};
+constexpr OperandSpec ww{Access::Write, DataType::Word};
+constexpr OperandSpec wl{Access::Write, DataType::Long};
+constexpr OperandSpec wq{Access::Write, DataType::Quad};
+constexpr OperandSpec wf{Access::Write, DataType::FFloat};
+constexpr OperandSpec wd{Access::Write, DataType::DFloat};
+constexpr OperandSpec mb{Access::Modify, DataType::Byte};
+constexpr OperandSpec mw{Access::Modify, DataType::Word};
+constexpr OperandSpec ml{Access::Modify, DataType::Long};
+constexpr OperandSpec mf{Access::Modify, DataType::FFloat};
+constexpr OperandSpec md{Access::Modify, DataType::DFloat};
+constexpr OperandSpec ab{Access::Address, DataType::Byte};
+constexpr OperandSpec aw{Access::Address, DataType::Word};
+constexpr OperandSpec al{Access::Address, DataType::Long};
+constexpr OperandSpec aq{Access::Address, DataType::Quad};
+constexpr OperandSpec vb{Access::Field, DataType::Byte};
+constexpr OperandSpec bb{Access::BranchB, DataType::Byte};
+constexpr OperandSpec bw{Access::BranchW, DataType::Word};
+
+struct Table
+{
+    std::array<OpcodeInfo, 256> info{};
+
+    void
+    def(Op op, std::string_view mnem, Group g, PcClass pc,
+        std::initializer_list<OperandSpec> ops)
+    {
+        OpcodeInfo &e = info[static_cast<uint8_t>(op)];
+        if (e.valid())
+            panic("duplicate opcode definition 0x%02x",
+                  static_cast<unsigned>(op));
+        e.mnemonic = mnem;
+        e.group = g;
+        e.pcClass = pc;
+        e.numOperands = 0;
+        for (const OperandSpec &s : ops) {
+            if (e.numOperands >= 6)
+                panic("too many operands for %.*s",
+                      int(mnem.size()), mnem.data());
+            e.operands[e.numOperands++] = s;
+        }
+    }
+};
+
+Table
+buildTable()
+{
+    Table t;
+    const auto S = Group::Simple;
+    const auto FI = Group::Field;
+    const auto FL = Group::Float;
+    const auto CR = Group::CallRet;
+    const auto SY = Group::System;
+    const auto CH = Group::Character;
+    const auto DE = Group::Decimal;
+    const auto NP = PcClass::None;
+
+    // System / privileged / queue ------------------------------------
+    t.def(Op::HALT, "halt", SY, NP, {});
+    t.def(Op::NOP, "nop", S, NP, {});
+    t.def(Op::REI, "rei", SY, PcClass::SystemBr, {});
+    t.def(Op::BPT, "bpt", SY, PcClass::SystemBr, {});
+    t.def(Op::RET, "ret", CR, PcClass::Procedure, {});
+    t.def(Op::RSB, "rsb", S, PcClass::Subroutine, {});
+    t.def(Op::LDPCTX, "ldpctx", SY, NP, {});
+    t.def(Op::SVPCTX, "svpctx", SY, NP, {});
+    t.def(Op::CVTPS, "cvtps", DE, NP, {rw, ab, rw, ab});
+    t.def(Op::CVTSP, "cvtsp", DE, NP, {rw, ab, rw, ab});
+    t.def(Op::INDEX, "index", S, NP, {rl, rl, rl, rl, rl, wl});
+    t.def(Op::CRC, "crc", CH, NP, {ab, rl, rw, ab});
+    t.def(Op::PROBER, "prober", SY, NP, {rb, rw, ab});
+    t.def(Op::PROBEW, "probew", SY, NP, {rb, rw, ab});
+    t.def(Op::INSQUE, "insque", SY, NP, {ab, ab});
+    t.def(Op::REMQUE, "remque", SY, NP, {ab, wl});
+
+    // Branches ---------------------------------------------------------
+    t.def(Op::BSBB, "bsbb", S, PcClass::Subroutine, {bb});
+    t.def(Op::BRB, "brb", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BNEQ, "bneq", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BEQL, "beql", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BGTR, "bgtr", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BLEQ, "bleq", S, PcClass::SimpleCond, {bb});
+    t.def(Op::JSB, "jsb", S, PcClass::Subroutine, {ab});
+    t.def(Op::JMP, "jmp", S, PcClass::Uncond, {ab});
+    t.def(Op::BGEQ, "bgeq", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BLSS, "blss", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BGTRU, "bgtru", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BLEQU, "blequ", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BVC, "bvc", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BVS, "bvs", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BCC, "bcc", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BCS, "bcs", S, PcClass::SimpleCond, {bb});
+    t.def(Op::BSBW, "bsbw", S, PcClass::Subroutine, {bw});
+    t.def(Op::BRW, "brw", S, PcClass::SimpleCond, {bw});
+
+    // Decimal string -----------------------------------------------------
+    t.def(Op::ADDP4, "addp4", DE, NP, {rw, ab, rw, ab});
+    t.def(Op::ADDP6, "addp6", DE, NP, {rw, ab, rw, ab, rw, ab});
+    t.def(Op::SUBP4, "subp4", DE, NP, {rw, ab, rw, ab});
+    t.def(Op::SUBP6, "subp6", DE, NP, {rw, ab, rw, ab, rw, ab});
+    t.def(Op::CVTPT, "cvtpt", DE, NP, {rw, ab, ab, rw, ab});
+    t.def(Op::MULP, "mulp", DE, NP, {rw, ab, rw, ab, rw, ab});
+    t.def(Op::CVTTP, "cvttp", DE, NP, {rw, ab, ab, rw, ab});
+    t.def(Op::DIVP, "divp", DE, NP, {rw, ab, rw, ab, rw, ab});
+    t.def(Op::MOVP, "movp", DE, NP, {rw, ab, ab});
+    t.def(Op::CMPP3, "cmpp3", DE, NP, {rw, ab, ab});
+    t.def(Op::CVTPL, "cvtpl", DE, NP, {rw, ab, wl});
+    t.def(Op::CMPP4, "cmpp4", DE, NP, {rw, ab, rw, ab});
+    t.def(Op::EDITPC, "editpc", DE, NP, {rw, ab, ab, ab});
+    t.def(Op::ASHP, "ashp", DE, NP, {rb, rw, ab, rb, rw, ab});
+    t.def(Op::CVTLP, "cvtlp", DE, NP, {rl, rw, ab});
+
+    // Character string ---------------------------------------------------
+    t.def(Op::MOVC3, "movc3", CH, NP, {rw, ab, ab});
+    t.def(Op::CMPC3, "cmpc3", CH, NP, {rw, ab, ab});
+    t.def(Op::SCANC, "scanc", CH, NP, {rw, ab, ab, rb});
+    t.def(Op::SPANC, "spanc", CH, NP, {rw, ab, ab, rb});
+    t.def(Op::MOVC5, "movc5", CH, NP, {rw, ab, rb, rw, ab});
+    t.def(Op::CMPC5, "cmpc5", CH, NP, {rw, ab, rb, rw, ab});
+    t.def(Op::MOVTC, "movtc", CH, NP, {rw, ab, rb, ab, rw, ab});
+    t.def(Op::MOVTUC, "movtuc", CH, NP, {rw, ab, rb, ab, rw, ab});
+    t.def(Op::MATCHC, "matchc", CH, NP, {rw, ab, rw, ab});
+    t.def(Op::LOCC, "locc", CH, NP, {rb, rw, ab});
+    t.def(Op::SKPC, "skpc", CH, NP, {rb, rw, ab});
+
+    // Integer converts / word moves ---------------------------------------
+    t.def(Op::CVTWL, "cvtwl", S, NP, {rw, wl});
+    t.def(Op::CVTWB, "cvtwb", S, NP, {rw, wb});
+    t.def(Op::MOVZWL, "movzwl", S, NP, {rw, wl});
+    t.def(Op::ACBW, "acbw", S, PcClass::Loop, {rw, rw, mw, bw});
+    t.def(Op::MOVAW, "movaw", S, NP, {aw, wl});
+    t.def(Op::PUSHAW, "pushaw", S, NP, {aw});
+
+    // F_floating -----------------------------------------------------------
+    t.def(Op::ADDF2, "addf2", FL, NP, {rf, mf});
+    t.def(Op::ADDF3, "addf3", FL, NP, {rf, rf, wf});
+    t.def(Op::SUBF2, "subf2", FL, NP, {rf, mf});
+    t.def(Op::SUBF3, "subf3", FL, NP, {rf, rf, wf});
+    t.def(Op::MULF2, "mulf2", FL, NP, {rf, mf});
+    t.def(Op::MULF3, "mulf3", FL, NP, {rf, rf, wf});
+    t.def(Op::DIVF2, "divf2", FL, NP, {rf, mf});
+    t.def(Op::DIVF3, "divf3", FL, NP, {rf, rf, wf});
+    t.def(Op::CVTFB, "cvtfb", FL, NP, {rf, wb});
+    t.def(Op::CVTFW, "cvtfw", FL, NP, {rf, ww});
+    t.def(Op::CVTFL, "cvtfl", FL, NP, {rf, wl});
+    t.def(Op::CVTRFL, "cvtrfl", FL, NP, {rf, wl});
+    t.def(Op::CVTBF, "cvtbf", FL, NP, {rb, wf});
+    t.def(Op::CVTWF, "cvtwf", FL, NP, {rw, wf});
+    t.def(Op::CVTLF, "cvtlf", FL, NP, {rl, wf});
+    t.def(Op::ACBF, "acbf", FL, PcClass::Loop, {rf, rf, mf, bw});
+    t.def(Op::MOVF, "movf", FL, NP, {rf, wf});
+    t.def(Op::CMPF, "cmpf", FL, NP, {rf, rf});
+    t.def(Op::MNEGF, "mnegf", FL, NP, {rf, wf});
+    t.def(Op::TSTF, "tstf", FL, NP, {rf});
+    t.def(Op::EMODF, "emodf", FL, NP, {rf, rb, rf, wl, wf});
+    t.def(Op::POLYF, "polyf", FL, NP, {rf, rw, ab});
+    t.def(Op::CVTFD, "cvtfd", FL, NP, {rf, wd});
+    t.def(Op::ADAWI, "adawi", S, NP, {rw, mw});
+
+    // D_floating -----------------------------------------------------------
+    t.def(Op::ADDD2, "addd2", FL, NP, {rd, md});
+    t.def(Op::ADDD3, "addd3", FL, NP, {rd, rd, wd});
+    t.def(Op::SUBD2, "subd2", FL, NP, {rd, md});
+    t.def(Op::SUBD3, "subd3", FL, NP, {rd, rd, wd});
+    t.def(Op::MULD2, "muld2", FL, NP, {rd, md});
+    t.def(Op::MULD3, "muld3", FL, NP, {rd, rd, wd});
+    t.def(Op::DIVD2, "divd2", FL, NP, {rd, md});
+    t.def(Op::DIVD3, "divd3", FL, NP, {rd, rd, wd});
+    t.def(Op::CVTDB, "cvtdb", FL, NP, {rd, wb});
+    t.def(Op::CVTDW, "cvtdw", FL, NP, {rd, ww});
+    t.def(Op::CVTDL, "cvtdl", FL, NP, {rd, wl});
+    t.def(Op::CVTRDL, "cvtrdl", FL, NP, {rd, wl});
+    t.def(Op::CVTBD, "cvtbd", FL, NP, {rb, wd});
+    t.def(Op::CVTWD, "cvtwd", FL, NP, {rw, wd});
+    t.def(Op::CVTLD, "cvtld", FL, NP, {rl, wd});
+    t.def(Op::ACBD, "acbd", FL, PcClass::Loop, {rd, rd, md, bw});
+    t.def(Op::MOVD, "movd", FL, NP, {rd, wd});
+    t.def(Op::CMPD, "cmpd", FL, NP, {rd, rd});
+    t.def(Op::MNEGD, "mnegd", FL, NP, {rd, wd});
+    t.def(Op::TSTD, "tstd", FL, NP, {rd});
+    t.def(Op::EMODD, "emodd", FL, NP, {rd, rb, rd, wl, wd});
+    t.def(Op::POLYD, "polyd", FL, NP, {rd, rw, ab});
+    t.def(Op::CVTDF, "cvtdf", FL, NP, {rd, wf});
+
+    // Shifts / extended integer multiply-divide ----------------------------
+    t.def(Op::ASHL, "ashl", S, NP, {rb, rl, wl});
+    t.def(Op::ASHQ, "ashq", S, NP, {rb, rq, wq});
+    t.def(Op::EMUL, "emul", FL, NP, {rl, rl, rl, wq});
+    t.def(Op::EDIV, "ediv", FL, NP, {rl, rq, wl, wl});
+    t.def(Op::CLRQ, "clrq", S, NP, {wq});
+    t.def(Op::MOVQ, "movq", S, NP, {rq, wq});
+    t.def(Op::MOVAQ, "movaq", S, NP, {aq, wl});
+    t.def(Op::PUSHAQ, "pushaq", S, NP, {aq});
+
+    // Byte integer ----------------------------------------------------------
+    t.def(Op::ADDB2, "addb2", S, NP, {rb, mb});
+    t.def(Op::ADDB3, "addb3", S, NP, {rb, rb, wb});
+    t.def(Op::SUBB2, "subb2", S, NP, {rb, mb});
+    t.def(Op::SUBB3, "subb3", S, NP, {rb, rb, wb});
+    t.def(Op::MULB2, "mulb2", FL, NP, {rb, mb});
+    t.def(Op::MULB3, "mulb3", FL, NP, {rb, rb, wb});
+    t.def(Op::DIVB2, "divb2", FL, NP, {rb, mb});
+    t.def(Op::DIVB3, "divb3", FL, NP, {rb, rb, wb});
+    t.def(Op::BISB2, "bisb2", S, NP, {rb, mb});
+    t.def(Op::BISB3, "bisb3", S, NP, {rb, rb, wb});
+    t.def(Op::BICB2, "bicb2", S, NP, {rb, mb});
+    t.def(Op::BICB3, "bicb3", S, NP, {rb, rb, wb});
+    t.def(Op::XORB2, "xorb2", S, NP, {rb, mb});
+    t.def(Op::XORB3, "xorb3", S, NP, {rb, rb, wb});
+    t.def(Op::MNEGB, "mnegb", S, NP, {rb, wb});
+    t.def(Op::CASEB, "caseb", S, PcClass::Case, {rb, rb, rb});
+    t.def(Op::MOVB, "movb", S, NP, {rb, wb});
+    t.def(Op::CMPB, "cmpb", S, NP, {rb, rb});
+    t.def(Op::MCOMB, "mcomb", S, NP, {rb, wb});
+    t.def(Op::BITB, "bitb", S, NP, {rb, rb});
+    t.def(Op::CLRB, "clrb", S, NP, {wb});
+    t.def(Op::TSTB, "tstb", S, NP, {rb});
+    t.def(Op::INCB, "incb", S, NP, {mb});
+    t.def(Op::DECB, "decb", S, NP, {mb});
+    t.def(Op::CVTBL, "cvtbl", S, NP, {rb, wl});
+    t.def(Op::CVTBW, "cvtbw", S, NP, {rb, ww});
+    t.def(Op::MOVZBL, "movzbl", S, NP, {rb, wl});
+    t.def(Op::MOVZBW, "movzbw", S, NP, {rb, ww});
+    t.def(Op::ROTL, "rotl", S, NP, {rb, rl, wl});
+    t.def(Op::ACBB, "acbb", S, PcClass::Loop, {rb, rb, mb, bw});
+    t.def(Op::MOVAB, "movab", S, NP, {ab, wl});
+    t.def(Op::PUSHAB, "pushab", S, NP, {ab});
+
+    // Word integer -----------------------------------------------------------
+    t.def(Op::ADDW2, "addw2", S, NP, {rw, mw});
+    t.def(Op::ADDW3, "addw3", S, NP, {rw, rw, ww});
+    t.def(Op::SUBW2, "subw2", S, NP, {rw, mw});
+    t.def(Op::SUBW3, "subw3", S, NP, {rw, rw, ww});
+    t.def(Op::MULW2, "mulw2", FL, NP, {rw, mw});
+    t.def(Op::MULW3, "mulw3", FL, NP, {rw, rw, ww});
+    t.def(Op::DIVW2, "divw2", FL, NP, {rw, mw});
+    t.def(Op::DIVW3, "divw3", FL, NP, {rw, rw, ww});
+    t.def(Op::BISW2, "bisw2", S, NP, {rw, mw});
+    t.def(Op::BISW3, "bisw3", S, NP, {rw, rw, ww});
+    t.def(Op::BICW2, "bicw2", S, NP, {rw, mw});
+    t.def(Op::BICW3, "bicw3", S, NP, {rw, rw, ww});
+    t.def(Op::XORW2, "xorw2", S, NP, {rw, mw});
+    t.def(Op::XORW3, "xorw3", S, NP, {rw, rw, ww});
+    t.def(Op::MNEGW, "mnegw", S, NP, {rw, ww});
+    t.def(Op::CASEW, "casew", S, PcClass::Case, {rw, rw, rw});
+    t.def(Op::MOVW, "movw", S, NP, {rw, ww});
+    t.def(Op::CMPW, "cmpw", S, NP, {rw, rw});
+    t.def(Op::MCOMW, "mcomw", S, NP, {rw, ww});
+    t.def(Op::BITW, "bitw", S, NP, {rw, rw});
+    t.def(Op::CLRW, "clrw", S, NP, {ww});
+    t.def(Op::TSTW, "tstw", S, NP, {rw});
+    t.def(Op::INCW, "incw", S, NP, {mw});
+    t.def(Op::DECW, "decw", S, NP, {mw});
+    t.def(Op::BISPSW, "bispsw", S, NP, {rw});
+    t.def(Op::BICPSW, "bicpsw", S, NP, {rw});
+    t.def(Op::POPR, "popr", CR, NP, {rw});
+    t.def(Op::PUSHR, "pushr", CR, NP, {rw});
+    t.def(Op::CHMK, "chmk", SY, PcClass::SystemBr, {rw});
+    t.def(Op::CHME, "chme", SY, PcClass::SystemBr, {rw});
+    t.def(Op::CHMS, "chms", SY, PcClass::SystemBr, {rw});
+    t.def(Op::CHMU, "chmu", SY, PcClass::SystemBr, {rw});
+
+    // Longword integer ---------------------------------------------------------
+    t.def(Op::ADDL2, "addl2", S, NP, {rl, ml});
+    t.def(Op::ADDL3, "addl3", S, NP, {rl, rl, wl});
+    t.def(Op::SUBL2, "subl2", S, NP, {rl, ml});
+    t.def(Op::SUBL3, "subl3", S, NP, {rl, rl, wl});
+    t.def(Op::MULL2, "mull2", FL, NP, {rl, ml});
+    t.def(Op::MULL3, "mull3", FL, NP, {rl, rl, wl});
+    t.def(Op::DIVL2, "divl2", FL, NP, {rl, ml});
+    t.def(Op::DIVL3, "divl3", FL, NP, {rl, rl, wl});
+    t.def(Op::BISL2, "bisl2", S, NP, {rl, ml});
+    t.def(Op::BISL3, "bisl3", S, NP, {rl, rl, wl});
+    t.def(Op::BICL2, "bicl2", S, NP, {rl, ml});
+    t.def(Op::BICL3, "bicl3", S, NP, {rl, rl, wl});
+    t.def(Op::XORL2, "xorl2", S, NP, {rl, ml});
+    t.def(Op::XORL3, "xorl3", S, NP, {rl, rl, wl});
+    t.def(Op::MNEGL, "mnegl", S, NP, {rl, wl});
+    t.def(Op::CASEL, "casel", S, PcClass::Case, {rl, rl, rl});
+    t.def(Op::MOVL, "movl", S, NP, {rl, wl});
+    t.def(Op::CMPL, "cmpl", S, NP, {rl, rl});
+    t.def(Op::MCOML, "mcoml", S, NP, {rl, wl});
+    t.def(Op::BITL, "bitl", S, NP, {rl, rl});
+    t.def(Op::CLRL, "clrl", S, NP, {wl});
+    t.def(Op::TSTL, "tstl", S, NP, {rl});
+    t.def(Op::INCL, "incl", S, NP, {ml});
+    t.def(Op::DECL, "decl", S, NP, {ml});
+    t.def(Op::ADWC, "adwc", S, NP, {rl, ml});
+    t.def(Op::SBWC, "sbwc", S, NP, {rl, ml});
+    t.def(Op::MTPR, "mtpr", SY, NP, {rl, rl});
+    t.def(Op::MFPR, "mfpr", SY, NP, {rl, wl});
+    t.def(Op::MOVPSL, "movpsl", S, NP, {wl});
+    t.def(Op::PUSHL, "pushl", S, NP, {rl});
+    t.def(Op::MOVAL, "moval", S, NP, {al, wl});
+    t.def(Op::PUSHAL, "pushal", S, NP, {al});
+
+    // Bit field / bit branch ----------------------------------------------------
+    t.def(Op::BBS, "bbs", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBC, "bbc", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBSS, "bbss", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBCS, "bbcs", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBSC, "bbsc", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBCC, "bbcc", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBSSI, "bbssi", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BBCCI, "bbcci", FI, PcClass::BitBranch, {rl, vb, bb});
+    t.def(Op::BLBS, "blbs", S, PcClass::LowBit, {rl, bb});
+    t.def(Op::BLBC, "blbc", S, PcClass::LowBit, {rl, bb});
+    t.def(Op::FFS, "ffs", FI, NP, {rl, rb, vb, wl});
+    t.def(Op::FFC, "ffc", FI, NP, {rl, rb, vb, wl});
+    t.def(Op::CMPV, "cmpv", FI, NP, {rl, rb, vb, rl});
+    t.def(Op::CMPZV, "cmpzv", FI, NP, {rl, rb, vb, rl});
+    t.def(Op::EXTV, "extv", FI, NP, {rl, rb, vb, wl});
+    t.def(Op::EXTZV, "extzv", FI, NP, {rl, rb, vb, wl});
+    t.def(Op::INSV, "insv", FI, NP, {rl, rl, rb, vb});
+
+    // Loop branches / converts -----------------------------------------------
+    t.def(Op::ACBL, "acbl", S, PcClass::Loop, {rl, rl, ml, bw});
+    t.def(Op::AOBLSS, "aoblss", S, PcClass::Loop, {rl, ml, bb});
+    t.def(Op::AOBLEQ, "aobleq", S, PcClass::Loop, {rl, ml, bb});
+    t.def(Op::SOBGEQ, "sobgeq", S, PcClass::Loop, {ml, bb});
+    t.def(Op::SOBGTR, "sobgtr", S, PcClass::Loop, {ml, bb});
+    t.def(Op::CVTLB, "cvtlb", S, NP, {rl, wb});
+    t.def(Op::CVTLW, "cvtlw", S, NP, {rl, ww});
+
+    // Procedure call --------------------------------------------------------
+    t.def(Op::CALLG, "callg", CR, PcClass::Procedure, {ab, ab});
+    t.def(Op::CALLS, "calls", CR, PcClass::Procedure, {rl, ab});
+    t.def(Op::XFC, "xfc", SY, NP, {});
+
+    return t;
+}
+
+const Table &
+table()
+{
+    static const Table t = buildTable();
+    return t;
+}
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(uint8_t opcode)
+{
+    return table().info[opcode];
+}
+
+std::string_view
+groupName(Group g)
+{
+    switch (g) {
+      case Group::Simple:
+        return "SIMPLE";
+      case Group::Field:
+        return "FIELD";
+      case Group::Float:
+        return "FLOAT";
+      case Group::CallRet:
+        return "CALL/RET";
+      case Group::System:
+        return "SYSTEM";
+      case Group::Character:
+        return "CHARACTER";
+      case Group::Decimal:
+        return "DECIMAL";
+      default:
+        return "?";
+    }
+}
+
+std::string_view
+pcClassName(PcClass c)
+{
+    switch (c) {
+      case PcClass::None:
+        return "(none)";
+      case PcClass::SimpleCond:
+        return "Simple cond. plus BRB, BRW";
+      case PcClass::Loop:
+        return "Loop branches";
+      case PcClass::LowBit:
+        return "Low-bit tests";
+      case PcClass::Subroutine:
+        return "Subroutine call and return";
+      case PcClass::Uncond:
+        return "Unconditional (JMP)";
+      case PcClass::Case:
+        return "Case branch (CASEx)";
+      case PcClass::BitBranch:
+        return "Bit branches";
+      case PcClass::Procedure:
+        return "Procedure call and return";
+      case PcClass::SystemBr:
+        return "System branches";
+      default:
+        return "?";
+    }
+}
+
+} // namespace upc780::arch

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The VAX opcode table: mnemonics, encodings, operand descriptors,
+ * the paper's Table 1 opcode groups, and the paper's Table 2
+ * PC-changing classification.
+ */
+
+#ifndef UPC780_ARCH_OPCODES_HH
+#define UPC780_ARCH_OPCODES_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "arch/types.hh"
+
+namespace upc780::arch
+{
+
+/**
+ * VAX opcodes, valued by their single-byte encoding. This is the
+ * single-byte subset (no 0xFD two-byte extended opcodes), which covers
+ * every instruction the paper's workloads exercise.
+ */
+enum class Op : uint8_t
+{
+    // --- system / privileged / queue ------------------------------------
+    HALT = 0x00, NOP = 0x01, REI = 0x02, BPT = 0x03,
+    RET = 0x04, RSB = 0x05, LDPCTX = 0x06, SVPCTX = 0x07,
+    CVTPS = 0x08, CVTSP = 0x09, INDEX = 0x0A, CRC = 0x0B,
+    PROBER = 0x0C, PROBEW = 0x0D, INSQUE = 0x0E, REMQUE = 0x0F,
+
+    // --- branches -------------------------------------------------------
+    BSBB = 0x10, BRB = 0x11, BNEQ = 0x12, BEQL = 0x13,
+    BGTR = 0x14, BLEQ = 0x15, JSB = 0x16, JMP = 0x17,
+    BGEQ = 0x18, BLSS = 0x19, BGTRU = 0x1A, BLEQU = 0x1B,
+    BVC = 0x1C, BVS = 0x1D, BCC = 0x1E, BCS = 0x1F,
+
+    // --- decimal string -------------------------------------------------
+    ADDP4 = 0x20, ADDP6 = 0x21, SUBP4 = 0x22, SUBP6 = 0x23,
+    CVTPT = 0x24, MULP = 0x25, CVTTP = 0x26, DIVP = 0x27,
+
+    // --- character string -----------------------------------------------
+    MOVC3 = 0x28, CMPC3 = 0x29, SCANC = 0x2A, SPANC = 0x2B,
+    MOVC5 = 0x2C, CMPC5 = 0x2D, MOVTC = 0x2E, MOVTUC = 0x2F,
+
+    BSBW = 0x30, BRW = 0x31, CVTWL = 0x32, CVTWB = 0x33,
+
+    MOVP = 0x34, CMPP3 = 0x35, CVTPL = 0x36, CMPP4 = 0x37,
+    EDITPC = 0x38, MATCHC = 0x39, LOCC = 0x3A, SKPC = 0x3B,
+
+    MOVZWL = 0x3C, ACBW = 0x3D, MOVAW = 0x3E, PUSHAW = 0x3F,
+
+    // --- F_floating -----------------------------------------------------
+    ADDF2 = 0x40, ADDF3 = 0x41, SUBF2 = 0x42, SUBF3 = 0x43,
+    MULF2 = 0x44, MULF3 = 0x45, DIVF2 = 0x46, DIVF3 = 0x47,
+    CVTFB = 0x48, CVTFW = 0x49, CVTFL = 0x4A, CVTRFL = 0x4B,
+    CVTBF = 0x4C, CVTWF = 0x4D, CVTLF = 0x4E, ACBF = 0x4F,
+    MOVF = 0x50, CMPF = 0x51, MNEGF = 0x52, TSTF = 0x53,
+    EMODF = 0x54, POLYF = 0x55, CVTFD = 0x56,
+
+    ADAWI = 0x58,
+
+    // --- D_floating -----------------------------------------------------
+    ADDD2 = 0x60, ADDD3 = 0x61, SUBD2 = 0x62, SUBD3 = 0x63,
+    MULD2 = 0x64, MULD3 = 0x65, DIVD2 = 0x66, DIVD3 = 0x67,
+    CVTDB = 0x68, CVTDW = 0x69, CVTDL = 0x6A, CVTRDL = 0x6B,
+    CVTBD = 0x6C, CVTWD = 0x6D, CVTLD = 0x6E, ACBD = 0x6F,
+    MOVD = 0x70, CMPD = 0x71, MNEGD = 0x72, TSTD = 0x73,
+    EMODD = 0x74, POLYD = 0x75, CVTDF = 0x76,
+
+    ASHL = 0x78, ASHQ = 0x79, EMUL = 0x7A, EDIV = 0x7B,
+    CLRQ = 0x7C, MOVQ = 0x7D, MOVAQ = 0x7E, PUSHAQ = 0x7F,
+
+    // --- byte integer ---------------------------------------------------
+    ADDB2 = 0x80, ADDB3 = 0x81, SUBB2 = 0x82, SUBB3 = 0x83,
+    MULB2 = 0x84, MULB3 = 0x85, DIVB2 = 0x86, DIVB3 = 0x87,
+    BISB2 = 0x88, BISB3 = 0x89, BICB2 = 0x8A, BICB3 = 0x8B,
+    XORB2 = 0x8C, XORB3 = 0x8D, MNEGB = 0x8E, CASEB = 0x8F,
+    MOVB = 0x90, CMPB = 0x91, MCOMB = 0x92, BITB = 0x93,
+    CLRB = 0x94, TSTB = 0x95, INCB = 0x96, DECB = 0x97,
+    CVTBL = 0x98, CVTBW = 0x99, MOVZBL = 0x9A, MOVZBW = 0x9B,
+    ROTL = 0x9C, ACBB = 0x9D, MOVAB = 0x9E, PUSHAB = 0x9F,
+
+    // --- word integer ---------------------------------------------------
+    ADDW2 = 0xA0, ADDW3 = 0xA1, SUBW2 = 0xA2, SUBW3 = 0xA3,
+    MULW2 = 0xA4, MULW3 = 0xA5, DIVW2 = 0xA6, DIVW3 = 0xA7,
+    BISW2 = 0xA8, BISW3 = 0xA9, BICW2 = 0xAA, BICW3 = 0xAB,
+    XORW2 = 0xAC, XORW3 = 0xAD, MNEGW = 0xAE, CASEW = 0xAF,
+    MOVW = 0xB0, CMPW = 0xB1, MCOMW = 0xB2, BITW = 0xB3,
+    CLRW = 0xB4, TSTW = 0xB5, INCW = 0xB6, DECW = 0xB7,
+    BISPSW = 0xB8, BICPSW = 0xB9, POPR = 0xBA, PUSHR = 0xBB,
+    CHMK = 0xBC, CHME = 0xBD, CHMS = 0xBE, CHMU = 0xBF,
+
+    // --- longword integer -----------------------------------------------
+    ADDL2 = 0xC0, ADDL3 = 0xC1, SUBL2 = 0xC2, SUBL3 = 0xC3,
+    MULL2 = 0xC4, MULL3 = 0xC5, DIVL2 = 0xC6, DIVL3 = 0xC7,
+    BISL2 = 0xC8, BISL3 = 0xC9, BICL2 = 0xCA, BICL3 = 0xCB,
+    XORL2 = 0xCC, XORL3 = 0xCD, MNEGL = 0xCE, CASEL = 0xCF,
+    MOVL = 0xD0, CMPL = 0xD1, MCOML = 0xD2, BITL = 0xD3,
+    CLRL = 0xD4, TSTL = 0xD5, INCL = 0xD6, DECL = 0xD7,
+    ADWC = 0xD8, SBWC = 0xD9, MTPR = 0xDA, MFPR = 0xDB,
+    MOVPSL = 0xDC, PUSHL = 0xDD, MOVAL = 0xDE, PUSHAL = 0xDF,
+
+    // --- bit field and bit branch ----------------------------------------
+    BBS = 0xE0, BBC = 0xE1, BBSS = 0xE2, BBCS = 0xE3,
+    BBSC = 0xE4, BBCC = 0xE5, BBSSI = 0xE6, BBCCI = 0xE7,
+    BLBS = 0xE8, BLBC = 0xE9,
+    FFS = 0xEA, FFC = 0xEB, CMPV = 0xEC, CMPZV = 0xED,
+    EXTV = 0xEE, EXTZV = 0xEF, INSV = 0xF0,
+
+    // --- loop / indexed branches ----------------------------------------
+    ACBL = 0xF1, AOBLSS = 0xF2, AOBLEQ = 0xF3,
+    SOBGEQ = 0xF4, SOBGTR = 0xF5,
+
+    CVTLB = 0xF6, CVTLW = 0xF7, ASHP = 0xF8, CVTLP = 0xF9,
+
+    // --- procedure call -------------------------------------------------
+    CALLG = 0xFA, CALLS = 0xFB, XFC = 0xFC,
+};
+
+/** The paper's Table 1 opcode groups. */
+enum class Group : uint8_t
+{
+    Simple,     //!< moves, simple arith/boolean, branches, subr call
+    Field,      //!< bit field operations and bit branches
+    Float,      //!< floating point plus integer multiply/divide
+    CallRet,    //!< procedure call/return, multi-register push/pop
+    System,     //!< privileged, context switch, queue, probe, sys serv
+    Character,  //!< character string instructions
+    Decimal,    //!< decimal string instructions
+    NumGroups,
+};
+
+/** Human-readable group name as printed in Table 1. */
+std::string_view groupName(Group g);
+
+/**
+ * The paper's Table 2 classification of PC-changing instructions.
+ * Per the paper, BRB and BRW are grouped with the simple conditional
+ * branches because the 780 microcode shares their dispatch.
+ */
+enum class PcClass : uint8_t
+{
+    None,        //!< not a PC-changing instruction
+    SimpleCond,  //!< simple conditional branches plus BRB, BRW
+    Loop,        //!< AOBxxx, SOBxxx, ACBx
+    LowBit,      //!< BLBS, BLBC
+    Subroutine,  //!< BSBB, BSBW, JSB, RSB
+    Uncond,      //!< JMP
+    Case,        //!< CASEB/W/L
+    BitBranch,   //!< BBx and variants
+    Procedure,   //!< CALLG, CALLS, RET
+    SystemBr,    //!< REI, CHMx
+    NumClasses,
+};
+
+/** Table 2 row label for a PC-changing class. */
+std::string_view pcClassName(PcClass c);
+
+/** One operand slot of an instruction descriptor. */
+struct OperandSpec
+{
+    Access access;
+    DataType type;
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    std::string_view mnemonic;  //!< empty for unassigned encodings
+    Group group;
+    PcClass pcClass;
+    uint8_t numOperands;
+    OperandSpec operands[6];
+
+    bool valid() const { return !mnemonic.empty(); }
+
+    std::span<const OperandSpec>
+    specs() const
+    {
+        return {operands, numOperands};
+    }
+};
+
+/** Look up the descriptor for an opcode byte. */
+const OpcodeInfo &opcodeInfo(uint8_t opcode);
+
+inline const OpcodeInfo &
+opcodeInfo(Op op)
+{
+    return opcodeInfo(static_cast<uint8_t>(op));
+}
+
+/** True if the byte encodes a defined instruction in this model. */
+inline bool
+opcodeValid(uint8_t opcode)
+{
+    return opcodeInfo(opcode).valid();
+}
+
+} // namespace upc780::arch
+
+#endif // UPC780_ARCH_OPCODES_HH

@@ -1,0 +1,294 @@
+#include "arch/specifier.hh"
+
+#include <cstdio>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace upc780::arch
+{
+
+std::string_view
+addrModeName(AddrMode m)
+{
+    switch (m) {
+      case AddrMode::Literal:
+        return "S^#lit";
+      case AddrMode::Register:
+        return "Rn";
+      case AddrMode::RegDeferred:
+        return "(Rn)";
+      case AddrMode::AutoDecr:
+        return "-(Rn)";
+      case AddrMode::AutoIncr:
+        return "(Rn)+";
+      case AddrMode::Immediate:
+        return "#imm";
+      case AddrMode::AutoIncrDeferred:
+        return "@(Rn)+";
+      case AddrMode::Absolute:
+        return "@#abs";
+      case AddrMode::DispByte:
+        return "b^d(Rn)";
+      case AddrMode::DispByteDeferred:
+        return "@b^d(Rn)";
+      case AddrMode::DispWord:
+        return "w^d(Rn)";
+      case AddrMode::DispWordDeferred:
+        return "@w^d(Rn)";
+      case AddrMode::DispLong:
+        return "l^d(Rn)";
+      case AddrMode::DispLongDeferred:
+        return "@l^d(Rn)";
+    }
+    return "?";
+}
+
+std::string_view
+specClassName(SpecClass c)
+{
+    switch (c) {
+      case SpecClass::Register:
+        return "Register Rn";
+      case SpecClass::ShortLiteral:
+        return "Short literal S^#";
+      case SpecClass::Immediate:
+        return "Immediate (PC)+";
+      case SpecClass::Displacement:
+        return "Displacement d(Rn)";
+      case SpecClass::RegDeferred:
+        return "Register deferred (Rn)";
+      case SpecClass::AutoIncrement:
+        return "Autoincrement (Rn)+";
+      case SpecClass::AutoDecrement:
+        return "Autodecrement -(Rn)";
+      case SpecClass::DispDeferred:
+        return "Disp. deferred @d(Rn)";
+      case SpecClass::Absolute:
+        return "Absolute @#";
+      case SpecClass::AutoIncDeferred:
+        return "Autoinc. deferred @(Rn)+";
+      default:
+        return "?";
+    }
+}
+
+SpecClass
+classifySpec(AddrMode m)
+{
+    switch (m) {
+      case AddrMode::Literal:
+        return SpecClass::ShortLiteral;
+      case AddrMode::Register:
+        return SpecClass::Register;
+      case AddrMode::RegDeferred:
+        return SpecClass::RegDeferred;
+      case AddrMode::AutoDecr:
+        return SpecClass::AutoDecrement;
+      case AddrMode::AutoIncr:
+        return SpecClass::AutoIncrement;
+      case AddrMode::Immediate:
+        return SpecClass::Immediate;
+      case AddrMode::AutoIncrDeferred:
+        return SpecClass::AutoIncDeferred;
+      case AddrMode::Absolute:
+        return SpecClass::Absolute;
+      case AddrMode::DispByte:
+      case AddrMode::DispWord:
+      case AddrMode::DispLong:
+        return SpecClass::Displacement;
+      case AddrMode::DispByteDeferred:
+      case AddrMode::DispWordDeferred:
+      case AddrMode::DispLongDeferred:
+        return SpecClass::DispDeferred;
+    }
+    return SpecClass::Register;
+}
+
+bool
+specReferencesMemory(AddrMode m)
+{
+    switch (m) {
+      case AddrMode::Literal:
+      case AddrMode::Register:
+      case AddrMode::Immediate:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::string
+DecodedSpecifier::str() const
+{
+    char buf[64];
+    std::string s;
+    switch (mode) {
+      case AddrMode::Literal:
+        std::snprintf(buf, sizeof(buf), "S^#%u", literal);
+        s = buf;
+        break;
+      case AddrMode::Register:
+        std::snprintf(buf, sizeof(buf), "r%u", reg);
+        s = buf;
+        break;
+      case AddrMode::RegDeferred:
+        std::snprintf(buf, sizeof(buf), "(r%u)", reg);
+        s = buf;
+        break;
+      case AddrMode::AutoDecr:
+        std::snprintf(buf, sizeof(buf), "-(r%u)", reg);
+        s = buf;
+        break;
+      case AddrMode::AutoIncr:
+        std::snprintf(buf, sizeof(buf), "(r%u)+", reg);
+        s = buf;
+        break;
+      case AddrMode::Immediate:
+        std::snprintf(buf, sizeof(buf), "#0x%llx",
+                      static_cast<unsigned long long>(immediate));
+        s = buf;
+        break;
+      case AddrMode::AutoIncrDeferred:
+        std::snprintf(buf, sizeof(buf), "@(r%u)+", reg);
+        s = buf;
+        break;
+      case AddrMode::Absolute:
+        std::snprintf(buf, sizeof(buf), "@#0x%x",
+                      static_cast<uint32_t>(immediate));
+        s = buf;
+        break;
+      case AddrMode::DispByte:
+      case AddrMode::DispWord:
+      case AddrMode::DispLong:
+        std::snprintf(buf, sizeof(buf), "%d(r%u)", disp, reg);
+        s = buf;
+        break;
+      case AddrMode::DispByteDeferred:
+      case AddrMode::DispWordDeferred:
+      case AddrMode::DispLongDeferred:
+        std::snprintf(buf, sizeof(buf), "@%d(r%u)", disp, reg);
+        s = buf;
+        break;
+    }
+    if (indexed) {
+        std::snprintf(buf, sizeof(buf), "[r%u]", indexReg);
+        s += buf;
+    }
+    return s;
+}
+
+namespace
+{
+
+/** Read a little-endian value of @p n bytes (n <= 8). */
+uint64_t
+readLe(std::span<const uint8_t> b, uint32_t off, uint32_t n)
+{
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < n; ++i)
+        v |= static_cast<uint64_t>(b[off + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint32_t
+decodeSpecifier(std::span<const uint8_t> bytes, DataType type,
+                DecodedSpecifier &out)
+{
+    out = DecodedSpecifier{};
+    if (bytes.empty())
+        return 0;
+
+    uint32_t pos = 0;
+    uint8_t sb = bytes[pos++];
+    uint8_t mode = sb >> 4;
+    uint8_t rn = sb & 0xf;
+
+    if (mode == 4) {
+        // Index prefix: [Rx] followed by a base specifier.
+        out.indexed = true;
+        out.indexReg = rn;
+        if (pos >= bytes.size())
+            return 0;
+        sb = bytes[pos++];
+        mode = sb >> 4;
+        rn = sb & 0xf;
+        // Literal, register and immediate base modes are illegal after
+        // an index prefix, as is a second index prefix.
+        if (mode < 6 || (mode == 8 && rn == reg::PC))
+            return 0;
+    }
+
+    out.reg = rn;
+    switch (mode) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        out.mode = AddrMode::Literal;
+        out.literal = sb & 0x3f;
+        break;
+      case 5:
+        out.mode = AddrMode::Register;
+        break;
+      case 6:
+        out.mode = AddrMode::RegDeferred;
+        break;
+      case 7:
+        out.mode = AddrMode::AutoDecr;
+        break;
+      case 8:
+        if (rn == reg::PC) {
+            out.mode = AddrMode::Immediate;
+            uint32_t n = dataTypeSize(type);
+            if (pos + n > bytes.size())
+                return 0;
+            out.immediate = readLe(bytes, pos, n);
+            pos += n;
+        } else {
+            out.mode = AddrMode::AutoIncr;
+        }
+        break;
+      case 9:
+        if (rn == reg::PC) {
+            out.mode = AddrMode::Absolute;
+            if (pos + 4 > bytes.size())
+                return 0;
+            out.immediate = readLe(bytes, pos, 4);
+            pos += 4;
+        } else {
+            out.mode = AddrMode::AutoIncrDeferred;
+        }
+        break;
+      case 0xA:
+      case 0xB:
+      case 0xC:
+      case 0xD:
+      case 0xE:
+      case 0xF: {
+        static const AddrMode modes[6] = {
+            AddrMode::DispByte, AddrMode::DispByteDeferred,
+            AddrMode::DispWord, AddrMode::DispWordDeferred,
+            AddrMode::DispLong, AddrMode::DispLongDeferred,
+        };
+        out.mode = modes[mode - 0xA];
+        uint32_t n = 1u << ((mode - 0xA) / 2);
+        if (pos + n > bytes.size())
+            return 0;
+        uint64_t raw = readLe(bytes, pos, n);
+        pos += n;
+        out.disp = sext(static_cast<uint32_t>(raw),
+                        static_cast<int>(8 * n));
+        break;
+      }
+      default:
+        return 0;
+    }
+
+    out.length = static_cast<uint8_t>(pos);
+    return pos;
+}
+
+} // namespace upc780::arch

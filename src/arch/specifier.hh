@@ -1,0 +1,105 @@
+/**
+ * @file
+ * VAX operand-specifier addressing modes: encoding, decoding, and the
+ * paper's Table 4 mode classification.
+ */
+
+#ifndef UPC780_ARCH_SPECIFIER_HH
+#define UPC780_ARCH_SPECIFIER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "arch/types.hh"
+
+namespace upc780::arch
+{
+
+/**
+ * Resolved addressing mode of one operand specifier, after splitting
+ * the PC-specific variants (immediate, absolute, PC-relative) out of
+ * the raw 4-bit mode field.
+ */
+enum class AddrMode : uint8_t
+{
+    Literal,           //!< modes 0-3: 6-bit short literal
+    Register,          //!< mode 5: Rn
+    RegDeferred,       //!< mode 6: (Rn)
+    AutoDecr,          //!< mode 7: -(Rn)
+    AutoIncr,          //!< mode 8, Rn != PC: (Rn)+
+    Immediate,         //!< mode 8, Rn == PC: #imm == (PC)+
+    AutoIncrDeferred,  //!< mode 9, Rn != PC: @(Rn)+
+    Absolute,          //!< mode 9, Rn == PC: @#addr
+    DispByte,          //!< mode A: b^d(Rn)
+    DispByteDeferred,  //!< mode B: @b^d(Rn)
+    DispWord,          //!< mode C: w^d(Rn)
+    DispWordDeferred,  //!< mode D: @w^d(Rn)
+    DispLong,          //!< mode E: l^d(Rn)
+    DispLongDeferred,  //!< mode F: @l^d(Rn)
+};
+
+/** Mnemonic-ish name for an addressing mode. */
+std::string_view addrModeName(AddrMode m);
+
+/** The paper's Table 4 row categories. */
+enum class SpecClass : uint8_t
+{
+    Register,
+    ShortLiteral,
+    Immediate,
+    Displacement,      //!< byte/word/long displacement off a register
+    RegDeferred,
+    AutoIncrement,
+    AutoDecrement,
+    DispDeferred,
+    Absolute,
+    AutoIncDeferred,
+    NumClasses,
+};
+
+/** Table 4 row label. */
+std::string_view specClassName(SpecClass c);
+
+/**
+ * Classify an addressing mode into a Table 4 row. PC-relative modes
+ * (displacement off PC) classify as Displacement / DispDeferred, as
+ * in the paper.
+ */
+SpecClass classifySpec(AddrMode m);
+
+/** True if the mode makes a D-stream memory reference for its operand. */
+bool specReferencesMemory(AddrMode m);
+
+/** One fully decoded operand specifier. */
+struct DecodedSpecifier
+{
+    AddrMode mode = AddrMode::Register;
+    uint8_t reg = 0;        //!< base register (or literal high bits)
+    bool indexed = false;   //!< preceded by an index-prefix byte
+    uint8_t indexReg = 0;   //!< Rx of the index prefix, if indexed
+    uint8_t literal = 0;    //!< 6-bit short literal value
+    int32_t disp = 0;       //!< displacement, sign-extended
+    uint64_t immediate = 0; //!< immediate data (up to 8 bytes)
+    uint8_t length = 0;     //!< total encoded bytes, incl. index prefix
+
+    /** Render in VAX assembler notation (for the disassembler). */
+    std::string str() const;
+};
+
+/**
+ * Decode one operand specifier from a byte stream.
+ *
+ * @param bytes input bytes starting at the specifier
+ * @param type data type of the operand (sets immediate size)
+ * @param out decoded result
+ * @retval number of bytes consumed, or 0 if bytes are exhausted or the
+ *         encoding is invalid (e.g. index prefix on a literal).
+ */
+uint32_t decodeSpecifier(std::span<const uint8_t> bytes, DataType type,
+                         DecodedSpecifier &out);
+
+} // namespace upc780::arch
+
+#endif // UPC780_ARCH_SPECIFIER_HH

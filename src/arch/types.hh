@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fundamental VAX architecture types: data types, operand access
+ * classes, register names, and the processor status longword.
+ */
+
+#ifndef UPC780_ARCH_TYPES_HH
+#define UPC780_ARCH_TYPES_HH
+
+#include <cstdint>
+
+namespace upc780::arch
+{
+
+/** Virtual and physical addresses are 32 bits on the VAX. */
+using VAddr = uint32_t;
+using PAddr = uint32_t;
+
+/** Operand data types defined by the VAX architecture. */
+enum class DataType : uint8_t
+{
+    Byte,    //!< 8-bit integer
+    Word,    //!< 16-bit integer
+    Long,    //!< 32-bit integer
+    Quad,    //!< 64-bit integer
+    FFloat,  //!< 32-bit F_floating
+    DFloat,  //!< 64-bit D_floating
+};
+
+/** Size in bytes of a data type. */
+constexpr uint32_t
+dataTypeSize(DataType t)
+{
+    switch (t) {
+      case DataType::Byte:
+        return 1;
+      case DataType::Word:
+        return 2;
+      case DataType::Long:
+      case DataType::FFloat:
+        return 4;
+      case DataType::Quad:
+      case DataType::DFloat:
+        return 8;
+    }
+    return 4;
+}
+
+/** Single-character suffix used by the disassembler. */
+constexpr char
+dataTypeSuffix(DataType t)
+{
+    switch (t) {
+      case DataType::Byte:
+        return 'b';
+      case DataType::Word:
+        return 'w';
+      case DataType::Long:
+        return 'l';
+      case DataType::Quad:
+        return 'q';
+      case DataType::FFloat:
+        return 'f';
+      case DataType::DFloat:
+        return 'd';
+    }
+    return '?';
+}
+
+/**
+ * Operand access classes from the VAX Architecture Reference Manual
+ * operand-specifier notation.
+ */
+enum class Access : uint8_t
+{
+    Read,     //!< .r - operand is read
+    Write,    //!< .w - operand is written
+    Modify,   //!< .m - operand is read then written
+    Address,  //!< .a - address of operand is computed (no data access)
+    Field,    //!< .v - variable-length bit field base (reg or address)
+    BranchB,  //!< .bb - byte branch displacement in the I-stream
+    BranchW,  //!< .bw - word branch displacement in the I-stream
+};
+
+/** True if the access class is an I-stream branch displacement. */
+constexpr bool
+isBranchDisp(Access a)
+{
+    return a == Access::BranchB || a == Access::BranchW;
+}
+
+/** General purpose register numbers with architectural roles. */
+namespace reg
+{
+constexpr unsigned R0 = 0;
+constexpr unsigned R1 = 1;
+constexpr unsigned R2 = 2;
+constexpr unsigned R3 = 3;
+constexpr unsigned R4 = 4;
+constexpr unsigned R5 = 5;
+constexpr unsigned R6 = 6;
+constexpr unsigned R7 = 7;
+constexpr unsigned R8 = 8;
+constexpr unsigned R9 = 9;
+constexpr unsigned R10 = 10;
+constexpr unsigned R11 = 11;
+constexpr unsigned AP = 12;   //!< argument pointer
+constexpr unsigned FP = 13;   //!< frame pointer
+constexpr unsigned SP = 14;   //!< stack pointer
+constexpr unsigned PC = 15;   //!< program counter
+constexpr unsigned NumRegs = 16;
+} // namespace reg
+
+/** Processor status longword condition-code and control bits. */
+namespace psl
+{
+constexpr uint32_t C = 1u << 0;   //!< carry
+constexpr uint32_t V = 1u << 1;   //!< overflow
+constexpr uint32_t Z = 1u << 2;   //!< zero
+constexpr uint32_t N = 1u << 3;   //!< negative
+constexpr uint32_t T = 1u << 4;   //!< trace
+constexpr uint32_t IS = 1u << 26; //!< interrupt stack
+constexpr uint32_t CurModeShift = 24;  //!< current mode field (2 bits)
+constexpr uint32_t IplShift = 16;      //!< interrupt priority (5 bits)
+
+constexpr uint32_t CcMask = N | Z | V | C;
+} // namespace psl
+
+/** Processor access modes (PSL current-mode field values). */
+enum class Mode : uint8_t
+{
+    Kernel = 0,
+    Executive = 1,
+    Supervisor = 2,
+    User = 3,
+};
+
+} // namespace upc780::arch
+
+#endif // UPC780_ARCH_TYPES_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the machine model.
+ */
+
+#ifndef UPC780_COMMON_BITFIELD_HH
+#define UPC780_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace upc780
+{
+
+/** Extract bits [first, last] (inclusive, last >= first) of val. */
+constexpr uint32_t
+bits(uint32_t val, int last, int first)
+{
+    int nbits = last - first + 1;
+    uint32_t mask = (nbits >= 32) ? 0xffffffffu : ((1u << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Extract a single bit. */
+constexpr bool
+bit(uint32_t val, int n)
+{
+    return (val >> n) & 1u;
+}
+
+/** Sign-extend the low @p nbits bits of val to 32 bits. */
+constexpr int32_t
+sext(uint32_t val, int nbits)
+{
+    uint32_t shift = static_cast<uint32_t>(32 - nbits);
+    return static_cast<int32_t>(val << shift) >> shift;
+}
+
+/** Insert @p field into bits [first, first+width) of val. */
+constexpr uint32_t
+insertBits(uint32_t val, int first, int width, uint32_t field)
+{
+    uint32_t mask = (width >= 32) ? 0xffffffffu : ((1u << width) - 1);
+    return (val & ~(mask << first)) | ((field & mask) << first);
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr uint32_t
+alignDown(uint32_t v, uint32_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr uint32_t
+alignUp(uint32_t v, uint32_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for nonzero v. */
+constexpr int
+log2i(uint32_t v)
+{
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace upc780
+
+#endif // UPC780_COMMON_BITFIELD_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Status and error reporting for the simulator, following the gem5
+ * fatal/panic convention:
+ *
+ *  - panic():  an internal simulator bug; should never happen regardless
+ *              of user input. Aborts (may dump core).
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid workload). Exits with code 1.
+ *  - warn():   something is modeled approximately; simulation continues.
+ *  - inform(): normal operating status.
+ */
+
+#ifndef UPC780_COMMON_LOGGING_HH
+#define UPC780_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace upc780
+{
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace upc780
+
+/** Abort the simulation: internal invariant violated (simulator bug). */
+#define panic(...) \
+    ::upc780::detail::panicImpl(__FILE__, __LINE__, \
+                                ::upc780::detail::vformat(__VA_ARGS__))
+
+/** Terminate the simulation: unrecoverable user/configuration error. */
+#define fatal(...) \
+    ::upc780::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::upc780::detail::vformat(__VA_ARGS__))
+
+/** Non-fatal warning about approximate or suspicious behaviour. */
+#define warn(...) \
+    ::upc780::detail::warnImpl(::upc780::detail::vformat(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...) \
+    ::upc780::detail::informImpl(::upc780::detail::vformat(__VA_ARGS__))
+
+#endif // UPC780_COMMON_LOGGING_HH

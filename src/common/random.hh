@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A self-contained xoshiro256** implementation is used instead of
+ * std::mt19937 so that workload generation is bit-reproducible across
+ * standard library implementations; every experiment in the paper
+ * reproduction is seeded and therefore exactly repeatable (addressing
+ * the paper's complaint that live timesharing workloads are not).
+ */
+
+#ifndef UPC780_COMMON_RANDOM_HH
+#define UPC780_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace upc780
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x780780780780ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative weights (need not be normalized).
+     */
+    size_t weighted(std::span<const double> weights);
+
+    /** Geometric-ish run length with the given mean, minimum 1. */
+    uint32_t runLength(double mean);
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Cumulative-table sampler for repeatedly drawing from one fixed
+ * discrete distribution.
+ */
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+    explicit DiscreteSampler(std::span<const double> weights);
+
+    /** True if the sampler has at least one nonzero weight. */
+    bool valid() const { return !cdf_.empty(); }
+
+    /** Draw an index using the supplied RNG. */
+    size_t sample(Rng &rng) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace upc780
+
+#endif // UPC780_COMMON_RANDOM_HH

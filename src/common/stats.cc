@@ -1,0 +1,44 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace upc780
+{
+
+void
+RunningStat::sample(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+HeadwayTracker::occur(uint64_t instruction_number)
+{
+    ++occurrences_;
+    lastAt_ = instruction_number;
+}
+
+double
+HeadwayTracker::headway(uint64_t total_instructions) const
+{
+    if (occurrences_ == 0)
+        return 0.0;
+    return static_cast<double>(total_instructions) /
+           static_cast<double>(occurrences_);
+}
+
+} // namespace upc780

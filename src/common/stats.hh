@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by hardware monitors and the
+ * analysis layer. These model the counters an instrumented component
+ * exposes (cf. the cache study counters of Clark [2]).
+ */
+
+#ifndef UPC780_COMMON_STATS_HH
+#define UPC780_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace upc780
+{
+
+/** A single named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(uint64_t n) { value_ += n; }
+    void reset() { value_ = 0; }
+
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Running scalar statistics: count / sum / min / max / mean. */
+class RunningStat
+{
+  public:
+    void sample(double x);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Records instruction "headway" between occurrences of an event, as the
+ * paper's Table 7 reports (average instructions between interrupts and
+ * context switches).
+ */
+class HeadwayTracker
+{
+  public:
+    /** Note that the event occurred at absolute instruction number n. */
+    void occur(uint64_t instruction_number);
+
+    uint64_t occurrences() const { return occurrences_; }
+
+    /** Average instruction headway over [0, total_instructions]. */
+    double headway(uint64_t total_instructions) const;
+
+  private:
+    uint64_t occurrences_ = 0;
+    uint64_t lastAt_ = 0;
+};
+
+} // namespace upc780
+
+#endif // UPC780_COMMON_STATS_HH

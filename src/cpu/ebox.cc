@@ -1,0 +1,1064 @@
+#include "cpu/ebox.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace upc780::cpu
+{
+
+using namespace upc780::ucode;
+using namespace upc780::arch;
+
+Ebox::Ebox(const MicrocodeImage &image, mem::MemorySubsystem &memsys,
+           mmu::TranslationBuffer &tb, IBox &ibox)
+    : img_(image), memsys_(memsys), tb_(tb), ibox_(ibox)
+{
+    upc_ = img_.marks.decode;
+}
+
+void
+Ebox::reset(VAddr pc, bool map_enabled)
+{
+    pc_ = pc;
+    upc_ = img_.marks.decode;
+    mapEnabled_ = map_enabled;
+    ibox_.setMapEnable(map_enabled);
+    ibox_.redirect(pc);
+    halted_ = false;
+    // Clear any in-flight micro state from a previous run.
+    ustack_.clear();
+    stallRemaining_ = 0;
+    pendingComplete_ = false;
+    memDone_ = false;
+    memSuppressed_ = false;
+    pendDispatch_ = false;
+    trapKind_ = TrapKind::None;
+    trapEntryPending_ = false;
+    idxTailPending_ = false;
+}
+
+void
+Ebox::setCc(bool n, bool z, bool v, bool c)
+{
+    psl_ &= ~psl::CcMask;
+    if (n)
+        psl_ |= psl::N;
+    if (z)
+        psl_ |= psl::Z;
+    if (v)
+        psl_ |= psl::V;
+    if (c)
+        psl_ |= psl::C;
+}
+
+// --------------------------------------------------------------------------
+// Cycle machinery
+// --------------------------------------------------------------------------
+
+CycleOut
+Ebox::cycle(uint64_t now)
+{
+    now_ = now;
+    if (halted_)
+        return {img_.marks.halted, false, true};
+
+    // Read/write stall cycles in progress: the stalled microinstruction
+    // sits at its address accumulating stalled counts (paper §4.3).
+    if (stallRemaining_ > 0) {
+        --stallRemaining_;
+        return {upc_, true, false};
+    }
+
+    // Enter a microtrap service routine (the abort cycle was reported
+    // on the previous cycle).
+    if (trapEntryPending_) {
+        upc_ = trapEntry_;
+        trapEntryPending_ = false;
+    }
+
+    // Retry an IB-starved dispatch between micro-routines.
+    if (pendDispatch_ && trapKind_ == TrapKind::None) {
+        UAddr t = trySpecDispatch();
+        if (t == 0) {
+            if (ibox_.tbMissPending()) {
+                startTrap(TrapKind::TbMissI, ibox_.tbMissVa());
+                return {img_.marks.abort, false, false};
+            }
+            return {pendStallAddr_, false, false};
+        }
+        pendDispatch_ = false;
+        upc_ = t;
+    }
+
+    return runCycle(now);
+}
+
+CycleOut
+Ebox::runCycle(uint64_t now)
+{
+    const MicroOp &op = img_.ops[upc_];
+
+    // 1. I-Decode requirement: insufficient bytes is an IB stall cycle
+    // at the context's dedicated stall address, or a microtrap when an
+    // I-stream TB miss is what is starving the buffer.
+    if (op.ib != Ib::None && !pendingComplete_) {
+        uint32_t need = 0;
+        if (!ibSatisfied(op, need)) {
+            if (ibox_.tbMissPending() && ibox_.available() < need) {
+                startTrap(TrapKind::TbMissI, ibox_.tbMissVa());
+                return {img_.marks.abort, false, false};
+            }
+            return {ibStallAddrFor(op), false, false};
+        }
+    }
+
+    // 2. Memory function: translate, access, and absorb stalls.
+    if (op.mem != Mem::None && !memDone_ && !pendingComplete_) {
+        dpMemSize_ = 0;
+        bool do_mem = dpPre(op);
+        memSuppressed_ = !do_mem;
+        if (do_mem) {
+            arch::PAddr pa = taddr_;
+            if (op.mem != Mem::ReadP && mapEnabled_) {
+                if (!tb_.lookup(taddr_, false, pa)) {
+                    startTrap(TrapKind::TbMissD, taddr_);
+                    return {img_.marks.abort, false, false};
+                }
+            }
+            uint32_t size =
+                dpMemSize_ ? dpMemSize_ : (op.arg ? op.arg : curSize_);
+            uint32_t stall = 0;
+            if (op.mem == Mem::WriteV) {
+                auto r = memsys_.write(pa, size, mdr_, now);
+                stall = r.stallCycles;
+            } else {
+                auto r = memsys_.read(pa, size, now);
+                mdr_ = r.data;
+                stall = r.stallCycles;
+            }
+            memDone_ = true;
+            if (stall > 0) {
+                stallRemaining_ = stall - 1;
+                pendingComplete_ = true;
+                return {upc_, true, false};
+            }
+        } else {
+            memDone_ = true;
+        }
+    }
+    pendingComplete_ = false;
+
+    // 3. Completion: consume I-stream bytes, run the datapath, and
+    // sequence to the next microinstruction.
+    UAddr attributed = upc_;
+    completeUop(op);
+    return {attributed, false, halted_};
+}
+
+bool
+Ebox::ibSatisfied(const MicroOp &op, uint32_t &need) const
+{
+    switch (op.ib) {
+      case Ib::DecodeOp:
+        need = 1;
+        break;
+      case Ib::DecodeSpec:
+        need = curEncLen_;
+        break;
+      case Ib::GetImmHigh:
+        need = 4;
+        break;
+      case Ib::GetBranchDisp: {
+        need = 1;
+        for (const OperandSpec &s : curInfo_->specs())
+            if (s.access == Access::BranchW)
+                need = 2;
+        break;
+      }
+      default:
+        need = 0;
+        return true;
+    }
+    return ibox_.available() >= need;
+}
+
+UAddr
+Ebox::ibStallAddrFor(const MicroOp &op) const
+{
+    switch (op.ib) {
+      case Ib::DecodeOp:
+        return img_.marks.ibStallDecode;
+      case Ib::GetBranchDisp:
+        return img_.marks.ibStallBdisp;
+      default:
+        return curSpecIdx_ == 0 ? img_.marks.ibStallSpec1
+                                : img_.marks.ibStallSpec26;
+    }
+}
+
+void
+Ebox::consumeIb(const MicroOp &op)
+{
+    switch (op.ib) {
+      case Ib::None:
+        return;
+      case Ib::DecodeOp: {
+        curOp_ = ibox_.peek(0);
+        ibox_.consume(1);
+        pc_ += 1;
+        curInfo_ = &opcodeInfo(curOp_);
+        if (!curInfo_->valid())
+            fatal("undefined opcode 0x%02x at pc 0x%08x", curOp_,
+                  pc_ - 1);
+        // Reset per-instruction state.
+        phase_ = Phase::PreSpecs;
+        scan_ = 0;
+        curSpecIdx_ = 0;
+        idxTailPending_ = false;
+        results_.clear();
+        nextResultIdx_ = 0;
+        curResultIdx_ = 0;
+        modifyPending_ = false;
+        haveModifyMem_ = false;
+        loopCount_ = 0;
+        reads_.clear();
+        readIdx_ = 0;
+        writes_.clear();
+        writeIdx_ = 0;
+        hasNumarg_ = false;
+        for (Opnd &o : opnd_)
+            o = Opnd{};
+        ++instructions_;
+
+        // RMODE optimization: deliver a register/short-literal first
+        // operand with the dispatch, in this same decode cycle.
+        if (rmodeOpt_ && curInfo_->numOperands > 0 &&
+            ibox_.available() >= 1) {
+            Access a0 = curInfo_->operands[0].access;
+            if (a0 == Access::Read || a0 == Access::Modify ||
+                a0 == Access::Field) {
+                uint8_t sb = ibox_.peek(0);
+                uint8_t mode = sb >> 4;
+                if (mode <= 3 || mode == 5) {
+                    curType_ = curInfo_->operands[0].type;
+                    curSize_ = dataTypeSize(curType_);
+                    curAccess_ = a0;
+                    curSpecIdx_ = 0;
+                    Opnd &o = opnd_[0];
+                    if (mode == 5) {
+                        uint8_t r = sb & 0xf;
+                        o.reg = r;
+                        if (a0 == Access::Field) {
+                            o.kind = Opnd::Kind::FieldReg;
+                        } else {
+                            o.kind = Opnd::Kind::RegVal;
+                            o.value = gpr_[r];
+                            if (curSize_ == 8) {
+                                o.value |= static_cast<uint64_t>(
+                                    gpr_[(r + 1) & 0xf]) << 32;
+                            }
+                        }
+                    } else if (a0 == Access::Read) {
+                        curSpec_.literal = sb & 0x3f;
+                        o.kind = Opnd::Kind::RegVal;
+                        o.value = expandLiteral(sb & 0x3f);
+                    } else {
+                        return;  // literal cannot be modified
+                    }
+                    ibox_.consume(1);
+                    pc_ += 1;
+                    scan_ = 1;
+                }
+            }
+        }
+        return;
+      }
+      case Ib::DecodeSpec:
+        ibox_.consume(curEncLen_);
+        pc_ += curEncLen_;
+        return;
+      case Ib::GetImmHigh: {
+        uint32_t hi = 0;
+        for (int i = 0; i < 4; ++i)
+            hi |= static_cast<uint32_t>(ibox_.peek(i)) << (8 * i);
+        ibox_.consume(4);
+        pc_ += 4;
+        opnd_[curSpecIdx_].value |= static_cast<uint64_t>(hi) << 32;
+        return;
+      }
+      case Ib::GetBranchDisp: {
+        uint32_t n = 1;
+        for (const OperandSpec &s : curInfo_->specs())
+            if (s.access == Access::BranchW)
+                n = 2;
+        uint32_t raw = ibox_.peek(0);
+        if (n == 2)
+            raw |= static_cast<uint32_t>(ibox_.peek(1)) << 8;
+        branchDisp_ = sext(raw, static_cast<int>(8 * n));
+        ibox_.consume(n);
+        pc_ += n;
+        return;
+      }
+    }
+}
+
+void
+Ebox::completeUop(const MicroOp &op)
+{
+    consumeIb(op);
+    if (op.mem != Mem::None) {
+        if (!memSuppressed_)
+            dpPost(op);
+    } else {
+        dpAll(op);
+    }
+    memDone_ = false;
+    memSuppressed_ = false;
+    sequence(op);
+}
+
+void
+Ebox::sequence(const MicroOp &op)
+{
+    switch (op.seq) {
+      case Seq::Next:
+        ++upc_;
+        return;
+      case Seq::Jump:
+        upc_ = op.target;
+        return;
+      case Seq::Call:
+        ustack_.push_back(static_cast<UAddr>(upc_ + 1));
+        upc_ = op.target;
+        return;
+      case Seq::Return:
+        if (ustack_.empty())
+            panic("micro return with empty stack");
+        upc_ = ustack_.back();
+        ustack_.pop_back();
+        return;
+      case Seq::JumpIfFlag:
+        upc_ = flag_ ? op.target : static_cast<UAddr>(upc_ + 1);
+        return;
+      case Seq::JumpIfNotFlag:
+        upc_ = !flag_ ? op.target : static_cast<UAddr>(upc_ + 1);
+        return;
+      case Seq::SpecDispatch: {
+        UAddr t = trySpecDispatch();
+        if (t == 0) {
+            pendDispatch_ = true;
+            pendStallAddr_ = scan_ == 0 ? img_.marks.ibStallSpec1
+                                        : img_.marks.ibStallSpec26;
+            // upc_ is stale until the dispatch succeeds; cycle()
+            // consults pendDispatch_ first.
+        } else {
+            upc_ = t;
+        }
+        return;
+      }
+      case Seq::DecodeNext:
+        upc_ = endInstruction();
+        return;
+      case Seq::DecodeNextIfNotFlag:
+        upc_ = flag_ ? static_cast<UAddr>(upc_ + 1) : endInstruction();
+        return;
+      case Seq::TrapReturn:
+        if (trapKind_ == TrapKind::TbMissI)
+            ibox_.clearTbMiss();
+        trapKind_ = TrapKind::None;
+        taddr_ = trapSavedTaddr_;
+        mdr_ = trapSavedMdr_;
+        flag_ = trapSavedFlag_;
+        upc_ = trappedUpc_;
+        return;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+UAddr
+Ebox::trySpecDispatch()
+{
+    if (idxTailPending_) {
+        idxTailPending_ = false;
+        int f = curSpecIdx_ == 0 ? 1 : 0;
+        return img_.idxTail[f][size_t(accessBucketFor(curAccess_))];
+    }
+
+    const unsigned n = curInfo_->numOperands;
+    if (phase_ == Phase::PreSpecs) {
+        while (scan_ < n) {
+            Access a = curInfo_->operands[scan_].access;
+            if (isBranchDisp(a) || a == Access::Write) {
+                ++scan_;
+                continue;
+            }
+            UAddr t = dispatchSpecifier(scan_);
+            if (t == 0)
+                return 0;
+            ++scan_;
+            return t;
+        }
+        phase_ = Phase::PostSpecs;
+        scan_ = 0;
+        UAddr e = img_.execEntry[curOp_];
+        if (e == 0)
+            fatal("no execute microcode for opcode 0x%02x", curOp_);
+        // Register-operand fast paths: decode dispatch selects the
+        // variant without memory write-back / field references.
+        UAddr alt = img_.execEntryRegAlt[curOp_];
+        if (alt) {
+            for (unsigned i = 0; i < curInfo_->numOperands; ++i) {
+                Access acc = curInfo_->operands[i].access;
+                if (acc == Access::Modify) {
+                    if (opnd_[i].kind == Opnd::Kind::RegVal)
+                        e = alt;
+                    break;
+                }
+                if (acc == Access::Field) {
+                    if (opnd_[i].kind == Opnd::Kind::FieldReg)
+                        e = alt;
+                    break;
+                }
+            }
+        }
+        return e;
+    }
+
+    while (scan_ < n) {
+        if (curInfo_->operands[scan_].access != Access::Write) {
+            ++scan_;
+            continue;
+        }
+        UAddr t = dispatchSpecifier(scan_);
+        if (t == 0)
+            return 0;
+        ++scan_;
+        return t;
+    }
+    return endInstruction();
+}
+
+UAddr
+Ebox::dispatchSpecifier(unsigned i)
+{
+    const uint32_t avail = ibox_.available();
+    if (avail < 1)
+        return 0;
+
+    uint8_t b0 = ibox_.peek(0);
+    bool indexed = (b0 >> 4) == 4;
+    uint32_t pos = 0;
+    if (indexed) {
+        if (avail < 2)
+            return 0;
+        pos = 1;
+        b0 = ibox_.peek(1);
+    }
+    uint8_t mode = b0 >> 4;
+    uint8_t rn = b0 & 0xf;
+
+    const OperandSpec &os = curInfo_->operands[i];
+    curType_ = os.type;
+    curSize_ = dataTypeSize(os.type);
+    curAccess_ = os.access;
+
+    uint32_t extra = 0;
+    bool imm_quad = false;
+    switch (mode) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 5:
+      case 6:
+      case 7:
+        break;
+      case 4:
+        fatal("index prefix on index prefix at pc 0x%08x", pc_);
+      case 8:
+        if (rn == reg::PC) {
+            extra = curSize_ > 4 ? 4 : curSize_;
+            imm_quad = curSize_ == 8;
+        }
+        break;
+      case 9:
+        if (rn == reg::PC)
+            extra = 4;
+        break;
+      case 0xA:
+      case 0xB:
+        extra = 1;
+        break;
+      case 0xC:
+      case 0xD:
+        extra = 2;
+        break;
+      default:
+        extra = 4;
+        break;
+    }
+
+    uint32_t enc_len = pos + 1 + extra;
+    if (avail < enc_len)
+        return 0;
+
+    uint8_t buf[16];
+    for (uint32_t j = 0; j < enc_len; ++j)
+        buf[j] = ibox_.peek(j);
+    DecodedSpecifier ds;
+    uint32_t got = decodeSpecifier(
+        {buf, enc_len}, imm_quad ? DataType::Long : curType_, ds);
+    if (got != enc_len)
+        fatal("specifier decode mismatch at pc 0x%08x (%u vs %u)", pc_,
+              got, enc_len);
+
+    curSpec_ = ds;
+    curSpecIdx_ = i;
+    curEncLen_ = enc_len;
+    if (phase_ == Phase::PostSpecs)
+        curResultIdx_ = nextResultIdx_++;
+
+    const int f = i == 0 ? 1 : 0;
+    if (ds.indexed)
+        return img_.idxRoutine[f][size_t(specModeFor(ds.mode))];
+
+    if (ds.mode == AddrMode::Register) {
+        if (curAccess_ == Access::Field)
+            return img_.regFieldRoutine[f];
+        if (curAccess_ == Access::Address)
+            fatal("register mode with address access at pc 0x%08x", pc_);
+        return img_.specRoutine[f][size_t(SpecMode::Reg)]
+                                [size_t(accessBucketFor(curAccess_))];
+    }
+    if (ds.mode == AddrMode::Literal || ds.mode == AddrMode::Immediate) {
+        if (curAccess_ != Access::Read)
+            fatal("literal/immediate with non-read access at pc 0x%08x",
+                  pc_);
+        if (imm_quad)
+            return img_.immQuadRoutine[f];
+        return img_.specRoutine[f][size_t(specModeFor(ds.mode))]
+                                [size_t(AccessBucket::Read)];
+    }
+    return img_.specRoutine[f][size_t(specModeFor(ds.mode))]
+                            [size_t(accessBucketFor(curAccess_))];
+}
+
+UAddr
+Ebox::endInstruction()
+{
+    uint32_t cur_ipl = (psl_ >> psl::IplShift) & 0x1f;
+
+    uint32_t best_level = 0, best_vector = 0;
+    bool hw = false;
+    uint32_t l = 0, v = 0;
+    if (intCtrl_ && intCtrl_->highestPending(l, v) && l > cur_ipl) {
+        best_level = l;
+        best_vector = v;
+        hw = true;
+    }
+    uint32_t sisr = prRegs_[mmu::pr::SISR] & 0xfffeu;
+    if (sisr) {
+        uint32_t soft = 31 - static_cast<uint32_t>(
+            __builtin_clz(sisr));
+        if (soft > cur_ipl && soft > best_level) {
+            best_level = soft;
+            best_vector = soft;
+            hw = false;
+        }
+    }
+
+    if (best_level > cur_ipl) {
+        if (hw)
+            intCtrl_->acknowledge(best_level);
+        else
+            prRegs_[mmu::pr::SISR] &= ~(1u << best_level);
+        intVector_ = best_vector;
+        intIpl_ = best_level;
+        return img_.marks.intDispatch;
+    }
+    return img_.marks.decode;
+}
+
+void
+Ebox::startTrap(TrapKind kind, VAddr va)
+{
+    trapKind_ = kind;
+    missVa_ = va;
+    trappedUpc_ = upc_;
+    trapEntry_ = kind == TrapKind::TbMissD ? img_.marks.tbMissD
+                                           : img_.marks.tbMissI;
+    trapEntryPending_ = true;
+    trapSavedTaddr_ = taddr_;
+    trapSavedMdr_ = mdr_;
+    trapSavedFlag_ = flag_;
+}
+
+// --------------------------------------------------------------------------
+// Datapath
+// --------------------------------------------------------------------------
+
+uint64_t
+Ebox::expandLiteral(uint8_t lit) const
+{
+    switch (curType_) {
+      case DataType::FFloat: {
+        uint32_t v = (static_cast<uint32_t>(128 + (lit >> 3)) << 23) |
+                     (static_cast<uint32_t>(lit & 7) << 20);
+        return (v << 16) | (v >> 16);
+      }
+      case DataType::DFloat: {
+        uint32_t v = (static_cast<uint32_t>(128 + (lit >> 3)) << 23) |
+                     (static_cast<uint32_t>(lit & 7) << 20);
+        return static_cast<uint64_t>((v << 16) | (v >> 16));
+      }
+      default:
+        return lit;
+    }
+}
+
+void
+Ebox::storeRegResult(uint8_t r, uint64_t v, uint32_t size)
+{
+    switch (size) {
+      case 1:
+        gpr_[r] = (gpr_[r] & ~0xffu) | (v & 0xff);
+        break;
+      case 2:
+        gpr_[r] = (gpr_[r] & ~0xffffu) | (v & 0xffff);
+        break;
+      case 4:
+        gpr_[r] = static_cast<uint32_t>(v);
+        break;
+      case 8:
+        gpr_[r] = static_cast<uint32_t>(v);
+        gpr_[(r + 1) & 0xf] = static_cast<uint32_t>(v >> 32);
+        break;
+      default:
+        panic("bad register result size %u", size);
+    }
+}
+
+uint32_t
+Ebox::readRegPair(uint8_t r, uint32_t size) const
+{
+    (void)size;
+    return gpr_[r];
+}
+
+bool
+Ebox::dpPre(const MicroOp &op)
+{
+    switch (op.dp) {
+      case Dp::ExecStep:
+        return execStepPre(op.arg);
+      case Dp::WriteResult:
+        if (curResultIdx_ >= results_.size())
+            panic("write specifier with no pending result");
+        mdr_ = results_[curResultIdx_];
+        return true;
+      case Dp::ModifyWriteback:
+        if (modifyPending_ && haveModifyMem_) {
+            taddr_ = modifyAddr_;
+            mdr_ = modifyResult_;
+            return true;
+        }
+        modifyPending_ = false;
+        return false;
+      case Dp::IntPushPsl: {
+        uint32_t base;
+        uint32_t cur_mode = (psl_ >> psl::CurModeShift) & 3;
+        if (intUseIstack_) {
+            base = (psl_ & psl::IS) ? gpr_[reg::SP]
+                                    : prRegs_[mmu::pr::ISP];
+        } else {
+            base = (!(psl_ & psl::IS) && cur_mode == 0)
+                       ? gpr_[reg::SP]
+                       : prRegs_[mmu::pr::KSP];
+        }
+        taddr_ = base - 4;
+        mdr_ = psl_;
+        return true;
+      }
+      case Dp::IntPushPc:
+        taddr_ = gpr_[reg::SP] - 4;
+        mdr_ = pc_;
+        return true;
+      case Dp::IntVector:
+        taddr_ = prRegs_[mmu::pr::SCBB] + 4 * intVector_;
+        return true;
+      default:
+        return true;
+    }
+}
+
+void
+Ebox::dpPost(const MicroOp &op)
+{
+    switch (op.dp) {
+      case Dp::OperandFromMdr: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::MemVal;
+        o.value = mdr_;
+        o.addr = taddr_;
+        return;
+      }
+      case Dp::ExecStep:
+        execStepPost(op.arg);
+        return;
+      case Dp::ModifyWriteback:
+        modifyPending_ = false;
+        return;
+      case Dp::IntPushPsl: {
+        // Bank the outgoing stack pointer, then switch.
+        uint32_t mode = (psl_ >> psl::CurModeShift) & 3;
+        if (psl_ & psl::IS)
+            prRegs_[mmu::pr::ISP] = gpr_[reg::SP];
+        else
+            prRegs_[mode] = gpr_[reg::SP];
+        if (intUseIstack_) {
+            psl_ |= psl::IS;
+        } else {
+            psl_ &= ~psl::IS;
+            psl_ = insertBits(psl_, psl::CurModeShift, 2, 0);
+        }
+        gpr_[reg::SP] = taddr_;
+        return;
+      }
+      case Dp::IntPushPc:
+        gpr_[reg::SP] = taddr_;
+        return;
+      case Dp::IntVector:
+        intHandler_ = static_cast<uint32_t>(mdr_) & ~3u;
+        intUseIstack_ = mdr_ & 1;
+        return;
+      default:
+        return;
+    }
+}
+
+void
+Ebox::dpAll(const MicroOp &op)
+{
+    auto reg_or_pc = [&](uint8_t r) {
+        return r == reg::PC ? pc_ : gpr_[r];
+    };
+
+    switch (op.dp) {
+      case Dp::Nop:
+        return;
+      case Dp::SpecLoadReg:
+        taddr_ = reg_or_pc(curSpec_.reg);
+        return;
+      case Dp::SpecLoadRegDisp:
+        taddr_ = reg_or_pc(curSpec_.reg) +
+                 static_cast<uint32_t>(curSpec_.disp);
+        return;
+      case Dp::SpecLoadAbs:
+        taddr_ = static_cast<uint32_t>(curSpec_.immediate);
+        return;
+      case Dp::SpecAutoInc: {
+        uint32_t step = op.arg ? op.arg : curSize_;
+        taddr_ = gpr_[curSpec_.reg];
+        gpr_[curSpec_.reg] += step;
+        return;
+      }
+      case Dp::SpecAutoDec: {
+        uint32_t step = op.arg ? op.arg : curSize_;
+        gpr_[curSpec_.reg] -= step;
+        taddr_ = gpr_[curSpec_.reg];
+        return;
+      }
+      case Dp::SpecIndexBase: {
+        switch (curSpec_.mode) {
+          case AddrMode::RegDeferred:
+            taddr_ = gpr_[curSpec_.reg];
+            break;
+          case AddrMode::AutoIncr:
+            taddr_ = gpr_[curSpec_.reg];
+            gpr_[curSpec_.reg] += curSize_;
+            break;
+          case AddrMode::AutoIncrDeferred:
+            taddr_ = gpr_[curSpec_.reg];
+            gpr_[curSpec_.reg] += 4;
+            break;
+          case AddrMode::AutoDecr:
+            gpr_[curSpec_.reg] -= curSize_;
+            taddr_ = gpr_[curSpec_.reg];
+            break;
+          case AddrMode::DispByte:
+          case AddrMode::DispWord:
+          case AddrMode::DispLong:
+          case AddrMode::DispByteDeferred:
+          case AddrMode::DispWordDeferred:
+          case AddrMode::DispLongDeferred:
+            taddr_ = reg_or_pc(curSpec_.reg) +
+                     static_cast<uint32_t>(curSpec_.disp);
+            break;
+          case AddrMode::Absolute:
+            taddr_ = static_cast<uint32_t>(curSpec_.immediate);
+            break;
+          default:
+            panic("indexed base on non-memory mode");
+        }
+        return;
+      }
+      case Dp::SpecIndexAdd:
+        taddr_ += gpr_[curSpec_.indexReg] * curSize_;
+        idxTailPending_ = true;
+        return;
+      case Dp::MdrToTaddr:
+        taddr_ = static_cast<uint32_t>(mdr_);
+        return;
+      case Dp::OperandFromReg: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.reg = curSpec_.reg;
+        if (curAccess_ == Access::Field) {
+            o.kind = Opnd::Kind::FieldReg;
+        } else {
+            o.kind = Opnd::Kind::RegVal;
+            o.value = gpr_[curSpec_.reg];
+            if (curSize_ == 8) {
+                o.value |= static_cast<uint64_t>(
+                    gpr_[(curSpec_.reg + 1) & 0xf]) << 32;
+            }
+        }
+        return;
+      }
+      case Dp::OperandFromLit: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::RegVal;
+        o.value = expandLiteral(curSpec_.literal);
+        return;
+      }
+      case Dp::OperandFromImm: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::RegVal;
+        o.value = curSpec_.immediate;
+        return;
+      }
+      case Dp::OperandImmHigh:
+        // The high longword was merged during I-stream consumption.
+        return;
+      case Dp::RegWriteSpec:
+        if (curResultIdx_ >= results_.size())
+            panic("register write specifier with no pending result");
+        storeRegResult(curSpec_.reg, results_[curResultIdx_], curSize_);
+        return;
+      case Dp::OperandAddr: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::Addr;
+        o.addr = taddr_;
+        return;
+      }
+      case Dp::Exec:
+        execMain();
+        return;
+      case Dp::ExecStep:
+        // Non-memory execute step: apply/pad phase.
+        (void)execStepPre(op.arg);
+        return;
+      case Dp::LoopDec:
+        if (loopCount_ > 0)
+            --loopCount_;
+        flag_ = loopCount_ > 0;
+        return;
+      case Dp::BranchTarget:
+        target_ = pc_ + static_cast<uint32_t>(branchDisp_);
+        return;
+      case Dp::TakeBranch:
+        pc_ = target_;
+        ibox_.redirect(pc_);
+        return;
+      case Dp::TbComputePte: {
+        if (op.arg == 0) {
+            bool is_phys = false;
+            auto a = mmu::pteAddress(map_, missVa_, is_phys);
+            if (!a)
+                fatal("translation of unmapped VA 0x%08x "
+                      "(pc 0x%08x, opcode 0x%02x, p0lr %u)",
+                      missVa_, pc_, curOp_, map_.p0lr);
+            if (is_phys) {
+                taddr_ = *a;
+                flag_ = false;
+            } else {
+                pteVa_ = *a;
+                arch::PAddr pa = 0;
+                if (tb_.probe(pteVa_)) {
+                    // Non-architectural probe: recompute via the
+                    // system page table (the microcode reads the TB
+                    // datapath directly).
+                    uint32_t spte = static_cast<uint32_t>(
+                        memsys_.memory().read(
+                            map_.sbr + 4 * mmu::vpnOf(pteVa_), 4));
+                    pa = (mmu::pte::pfn(spte) << mmu::PageShift) |
+                         (pteVa_ & (mmu::PageBytes - 1));
+                    taddr_ = pa;
+                    flag_ = false;
+                } else {
+                    flag_ = true;
+                }
+            }
+        } else if (op.arg == 1) {
+            taddr_ = map_.sbr + 4 * mmu::vpnOf(pteVa_);
+        } else {
+            uint32_t spte = static_cast<uint32_t>(
+                memsys_.memory().read(
+                    map_.sbr + 4 * mmu::vpnOf(pteVa_), 4));
+            taddr_ = (mmu::pte::pfn(spte) << mmu::PageShift) |
+                     (pteVa_ & (mmu::PageBytes - 1));
+        }
+        return;
+      }
+      case Dp::TbFill: {
+        uint32_t entry = static_cast<uint32_t>(mdr_);
+        if (!mmu::pte::valid(entry))
+            fatal("invalid PTE for VA 0x%08x (page faults unsupported)",
+                  op.arg == 0 ? missVa_ : pteVa_);
+        tb_.fill(op.arg == 0 ? missVa_ : pteVa_, mmu::pte::pfn(entry));
+        return;
+      }
+      case Dp::IntEnter: {
+        pc_ = intHandler_;
+        psl_ = insertBits(psl_, psl::IplShift, 5, intIpl_);
+        psl_ = insertBits(psl_, psl::CurModeShift, 2,
+                          static_cast<uint32_t>(Mode::Kernel));
+        ibox_.redirect(pc_);
+        return;
+      }
+      case Dp::OsAssist:
+        if (osAssist_)
+            osAssist_(*this);
+        return;
+      case Dp::Halt:
+        halted_ = true;
+        return;
+      default:
+        panic("unhandled datapath function %d in non-memory word",
+              static_cast<int>(op.dp));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Processor registers and backdoor access
+// --------------------------------------------------------------------------
+
+void
+Ebox::writePr(uint32_t idx, uint32_t val)
+{
+    if (idx >= mmu::pr::NumRegs)
+        fatal("MTPR to undefined processor register %u", idx);
+    using namespace mmu::pr;
+    switch (idx) {
+      case TBIA:
+        tb_.flushAll();
+        return;
+      case TBIS:
+        tb_.invalidateSingle(val);
+        return;
+      case SIRR:
+        if (val >= 1 && val <= 15)
+            prRegs_[SISR] |= 1u << val;
+        return;
+      case IPL:
+        prRegs_[IPL] = val & 0x1f;
+        psl_ = insertBits(psl_, psl::IplShift, 5, val & 0x1f);
+        return;
+      case MAPEN:
+        prRegs_[MAPEN] = val & 1;
+        mapEnabled_ = val & 1;
+        ibox_.setMapEnable(mapEnabled_);
+        return;
+      default:
+        break;
+    }
+    prRegs_[idx] = val;
+    switch (idx) {
+      case SBR:
+        map_.sbr = val;
+        break;
+      case SLR:
+        map_.slr = val;
+        break;
+      case P0BR:
+        map_.p0br = val;
+        break;
+      case P0LR:
+        map_.p0lr = val;
+        break;
+      case P1BR:
+        map_.p1br = val;
+        break;
+      case P1LR:
+        map_.p1lr = val;
+        break;
+      default:
+        break;
+    }
+}
+
+uint32_t
+Ebox::readPr(uint32_t idx) const
+{
+    if (idx >= mmu::pr::NumRegs)
+        fatal("MFPR from undefined processor register %u", idx);
+    return prRegs_[idx];
+}
+
+uint64_t
+Ebox::backdoorRead(VAddr va, uint32_t n) const
+{
+    if (!mapEnabled_)
+        return memsys_.memory().read(va, n);
+    uint64_t v = 0;
+    // Translate page by page (accesses may cross a page boundary).
+    for (uint32_t i = 0; i < n; ++i) {
+        auto pa = mmu::walk(memsys_.memory(), map_, va + i);
+        if (!pa)
+            fatal("backdoor read of unmapped VA 0x%08x", va + i);
+        v |= static_cast<uint64_t>(memsys_.memory().readByte(*pa))
+             << (8 * i);
+    }
+    return v;
+}
+
+void
+Ebox::backdoorWrite(VAddr va, uint32_t n, uint64_t v)
+{
+    if (!mapEnabled_) {
+        memsys_.memory().write(va, n, v);
+        return;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        auto pa = mmu::walk(memsys_.memory(), map_, va + i);
+        if (!pa)
+            fatal("backdoor write of unmapped VA 0x%08x", va + i);
+        memsys_.memory().writeByte(*pa, static_cast<uint8_t>(v >> (8 * i)));
+    }
+}
+
+void
+Ebox::bankSpFor(Mode new_mode, bool to_interrupt_stack)
+{
+    uint32_t cur_mode = (psl_ >> psl::CurModeShift) & 3;
+    bool on_is = psl_ & psl::IS;
+    // Save the current SP to its home register.
+    if (on_is)
+        prRegs_[mmu::pr::ISP] = gpr_[reg::SP];
+    else
+        prRegs_[cur_mode] = gpr_[reg::SP];
+    // Load the new one.
+    if (to_interrupt_stack) {
+        gpr_[reg::SP] = prRegs_[mmu::pr::ISP];
+        psl_ |= psl::IS;
+    } else {
+        gpr_[reg::SP] = prRegs_[static_cast<uint32_t>(new_mode)];
+        psl_ &= ~psl::IS;
+    }
+    psl_ = insertBits(psl_, psl::CurModeShift, 2,
+                      static_cast<uint32_t>(new_mode));
+}
+
+} // namespace upc780::cpu

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * The EBOX: the microcoded execution unit of the modeled VAX-11/780.
+ *
+ * The EBOX interprets the microprogram one microinstruction per cycle.
+ * Each call to cycle() advances exactly one 200 ns machine cycle and
+ * reports which control-store address the cycle belongs to and whether
+ * it was a read/write-stalled cycle — precisely the two counts the UPC
+ * histogram board keeps per bucket (paper §2.2, §4.3).
+ *
+ * Architectural semantics are computed by the execute unit (exec.cc)
+ * when the per-opcode Exec micro-operation runs; memory traffic,
+ * stalls, TB misses and IB behaviour are produced by the surrounding
+ * micro-routines cycle by cycle.
+ */
+
+#ifndef UPC780_CPU_EBOX_HH
+#define UPC780_CPU_EBOX_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "arch/specifier.hh"
+#include "arch/types.hh"
+#include "cpu/ibox.hh"
+#include "mem/memsys.hh"
+#include "mmu/pagetable.hh"
+#include "mmu/prreg.hh"
+#include "mmu/tb.hh"
+#include "ucode/controlstore.hh"
+
+namespace upc780::cpu
+{
+
+using arch::VAddr;
+
+/** One machine cycle as seen by a hardware monitor probe. */
+struct CycleOut
+{
+    ucode::UAddr upc = 0;  //!< control-store address of this cycle
+    bool stalled = false;  //!< read- or write-stalled cycle
+    bool halted = false;
+};
+
+/**
+ * Hardware interrupt requests presented to the CPU. Implemented by
+ * the machine (which aggregates its devices).
+ */
+class InterruptController
+{
+  public:
+    virtual ~InterruptController() = default;
+
+    /**
+     * Highest-priority pending hardware interrupt, if any.
+     * @retval true if a request is pending.
+     */
+    virtual bool highestPending(uint32_t &level, uint32_t &vector) = 0;
+
+    /** The CPU has dispatched the interrupt at @p level. */
+    virtual void acknowledge(uint32_t level) = 0;
+};
+
+/** The microcoded execution unit. */
+class Ebox
+{
+  public:
+    Ebox(const ucode::MicrocodeImage &image, mem::MemorySubsystem &memsys,
+         mmu::TranslationBuffer &tb, IBox &ibox);
+
+    /** Reset to begin execution at @p pc. */
+    void reset(VAddr pc, bool map_enabled);
+
+    /** Advance one machine cycle. */
+    CycleOut cycle(uint64_t now);
+
+    // ----- architectural state ------------------------------------------
+    uint32_t &gpr(unsigned i) { return gpr_[i]; }
+    uint32_t gpr(unsigned i) const { return gpr_[i]; }
+    uint32_t pc() const { return pc_; }
+    uint32_t psl() const { return psl_; }
+    void setPsl(uint32_t v) { psl_ = v; }
+
+    /** Internal processor register write with MTPR side effects. */
+    void writePr(uint32_t idx, uint32_t val);
+    uint32_t readPr(uint32_t idx) const;
+
+    const mmu::MapRegisters &mapRegisters() const { return map_; }
+    bool mapEnabled() const { return mapEnabled_; }
+
+    bool halted() const { return halted_; }
+    uint64_t instructions() const { return instructions_; }
+
+    void setInterruptController(InterruptController *c) { intCtrl_ = c; }
+
+    /**
+     * Enable the real 780's RMODE decode optimization: the I-Decode
+     * hardware delivers a register or short-literal *first* operand
+     * together with the opcode dispatch, costing no microcode cycle.
+     * Off by default, which keeps every specifier visible to the UPC
+     * histogram (exact Table 3/4 counts); see DESIGN.md.
+     */
+    void setDecodeDeliversFirstOperand(bool on) { rmodeOpt_ = on; }
+
+    /** XFC escape hook for the VMS-lite substrate. */
+    void setOsAssist(std::function<void(Ebox &)> fn)
+    {
+        osAssist_ = std::move(fn);
+    }
+
+    // ----- untimed ("backdoor") memory access ----------------------------
+    // Used by the execute unit to precompute instruction semantics and
+    // by the OS substrate for image loading and inspection. Performs
+    // page-table translation but no cache/TB/timing effects.
+    uint64_t backdoorRead(VAddr va, uint32_t n) const;
+    void backdoorWrite(VAddr va, uint32_t n, uint64_t v);
+
+    IBox &ibox() { return ibox_; }
+    mem::MemorySubsystem &memsys() { return memsys_; }
+    mmu::TranslationBuffer &tb() { return tb_; }
+    const ucode::MicrocodeImage &image() const { return img_; }
+
+    /** Condition-code helpers (used by the execute unit and tests). */
+    void setCc(bool n, bool z, bool v, bool c);
+    bool ccN() const { return psl_ & arch::psl::N; }
+    bool ccZ() const { return psl_ & arch::psl::Z; }
+    bool ccV() const { return psl_ & arch::psl::V; }
+    bool ccC() const { return psl_ & arch::psl::C; }
+
+  private:
+    friend class ExecUnit;
+
+    // ----- per-operand state ----------------------------------------------
+    struct Opnd
+    {
+        enum class Kind : uint8_t { None, RegVal, MemVal, Addr, FieldReg };
+        Kind kind = Kind::None;
+        uint64_t value = 0;
+        VAddr addr = 0;
+        uint8_t reg = 0;
+    };
+
+    /** Queued timed memory write of the execute phase. */
+    struct TimedWrite
+    {
+        VAddr addr;
+        uint8_t size;
+        uint64_t value;
+    };
+
+    /** Queued timed memory read of the execute phase. */
+    struct TimedRead
+    {
+        VAddr addr;
+        uint8_t size;
+    };
+
+    enum class Phase : uint8_t { PreSpecs, PostSpecs };
+    enum class TrapKind : uint8_t { None, TbMissD, TbMissI };
+
+    // ----- cycle machinery -------------------------------------------------
+    CycleOut runCycle(uint64_t now);
+    bool ibSatisfied(const ucode::MicroOp &op, uint32_t &need) const;
+    ucode::UAddr ibStallAddrFor(const ucode::MicroOp &op) const;
+    void consumeIb(const ucode::MicroOp &op);
+    void completeUop(const ucode::MicroOp &op);
+    void sequence(const ucode::MicroOp &op);
+
+    /** dp execution split around the memory function. */
+    bool dpPre(const ucode::MicroOp &op);   //!< returns do-memory
+    void dpPost(const ucode::MicroOp &op);
+    void dpAll(const ucode::MicroOp &op);
+
+    // ----- dispatch ---------------------------------------------------------
+    /** Attempt the specifier/execute dispatch; 0 means IB-starved. */
+    ucode::UAddr trySpecDispatch();
+    ucode::UAddr dispatchSpecifier(unsigned i);
+    ucode::UAddr endInstruction();
+
+    void startTrap(TrapKind kind, VAddr va);
+    void endTrap();
+
+    // ----- specifier datapath helpers ----------------------------------------
+    uint64_t expandLiteral(uint8_t lit) const;
+    void storeRegResult(uint8_t r, uint64_t v, uint32_t size);
+    uint32_t readRegPair(uint8_t r, uint32_t size) const;
+
+    // ----- execute unit (exec.cc) ---------------------------------------------
+    void execMain();
+    bool execStepPre(uint16_t ph);
+    void execStepPost(uint16_t ph);
+
+    // Semantic helpers implemented in exec.cc.
+    void execArith();
+    void execFloatOp();
+    void execStringOp();
+    void execDecimalOp();
+    void execCallRet();
+    void execSystemOp();
+    void execFieldOp();
+    void execBranchOp();
+    uint64_t operandValue(unsigned i) const;
+    VAddr operandAddr(unsigned i) const;
+    void pushResult(uint64_t v);
+    void setModifyResult(uint64_t v);
+    void queueWrite(VAddr a, uint8_t size, uint64_t v);
+    void queueRead(VAddr a, uint8_t size);
+    void bankSpFor(arch::Mode new_mode, bool to_interrupt_stack);
+
+    // ----- wiring ---------------------------------------------------------
+    const ucode::MicrocodeImage &img_;
+    mem::MemorySubsystem &memsys_;
+    mmu::TranslationBuffer &tb_;
+    IBox &ibox_;
+    InterruptController *intCtrl_ = nullptr;
+    std::function<void(Ebox &)> osAssist_;
+
+    // ----- architectural state ---------------------------------------------
+    uint32_t gpr_[16] = {};
+    uint32_t psl_ = 0;
+    VAddr pc_ = 0;
+    uint32_t prRegs_[mmu::pr::NumRegs] = {};
+    mmu::MapRegisters map_;
+    bool mapEnabled_ = false;
+
+    // ----- micro state --------------------------------------------------------
+    ucode::UAddr upc_ = 0;
+    bool halted_ = false;
+    std::vector<ucode::UAddr> ustack_;
+    bool flag_ = false;
+    uint32_t taddr_ = 0;
+    uint64_t mdr_ = 0;
+    uint8_t dpMemSize_ = 0;   //!< size set by dpPre (0: use arg/curSize)
+
+    // Memory-op-in-progress bookkeeping.
+    bool memDone_ = false;
+    bool memSuppressed_ = false;
+    uint32_t stallRemaining_ = 0;
+    bool pendingComplete_ = false;
+
+    // Pending dispatch retry (IB-starved between micro-routines).
+    bool pendDispatch_ = false;
+    ucode::UAddr pendStallAddr_ = 0;
+
+    // Microtrap state. The datapath latches are saved on trap entry
+    // and restored on TrapReturn so the retried microinstruction sees
+    // the state it computed before the trap.
+    TrapKind trapKind_ = TrapKind::None;
+    ucode::UAddr trappedUpc_ = 0;
+    VAddr missVa_ = 0;
+    VAddr pteVa_ = 0;
+    bool trapEntryPending_ = false;
+    ucode::UAddr trapEntry_ = 0;
+    uint32_t trapSavedTaddr_ = 0;
+    uint64_t trapSavedMdr_ = 0;
+    bool trapSavedFlag_ = false;
+
+    // Interrupt dispatch latches.
+    uint32_t intVector_ = 0;
+    uint32_t intIpl_ = 0;
+    uint32_t intHandler_ = 0;
+    bool intUseIstack_ = true;
+
+    // ----- current instruction state ------------------------------------------
+    uint8_t curOp_ = 0;
+    const arch::OpcodeInfo *curInfo_ = nullptr;
+    Phase phase_ = Phase::PreSpecs;
+    unsigned scan_ = 0;       //!< next operand index to consider
+    unsigned curSpecIdx_ = 0;
+    arch::DecodedSpecifier curSpec_;
+    arch::Access curAccess_ = arch::Access::Read;
+    arch::DataType curType_ = arch::DataType::Long;
+    uint32_t curSize_ = 4;
+    uint32_t curEncLen_ = 0;  //!< encoded bytes of current specifier
+    bool idxTailPending_ = false;
+    int32_t branchDisp_ = 0;
+
+    Opnd opnd_[6];
+    std::vector<uint64_t> results_;
+    unsigned curResultIdx_ = 0;
+    unsigned nextResultIdx_ = 0;
+    bool haveModifyMem_ = false;
+    VAddr modifyAddr_ = 0;
+    uint64_t modifyResult_ = 0;
+    bool modifyPending_ = false;
+
+    // Execute-phase iterative state.
+    uint32_t loopCount_ = 0;
+    std::vector<TimedRead> reads_;
+    size_t readIdx_ = 0;
+    std::vector<TimedWrite> writes_;
+    size_t writeIdx_ = 0;
+    bool hasNumarg_ = false;
+    TimedWrite numargWrite_{};
+    VAddr target_ = 0;
+
+    uint64_t instructions_ = 0;
+    uint64_t now_ = 0;  //!< cycle timestamp during cycle()
+    bool rmodeOpt_ = false;
+};
+
+} // namespace upc780::cpu
+
+#endif // UPC780_CPU_EBOX_HH

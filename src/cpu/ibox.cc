@@ -1,0 +1,101 @@
+#include "cpu/ibox.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace upc780::cpu
+{
+
+IBox::IBox(mem::MemorySubsystem &memsys, mmu::TranslationBuffer &tb)
+    : memsys_(memsys), tb_(tb)
+{
+}
+
+void
+IBox::redirect(VAddr pc)
+{
+    count_ = 0;
+    fetchVa_ = pc;
+    fillPending_ = false;
+    tbMiss_ = false;
+    // The target address is resolved late in the redirecting cycle;
+    // the first fetch of the new stream goes out a cycle later.
+    justRedirected_ = true;
+    ++stats_.redirects;
+}
+
+uint8_t
+IBox::peek(uint32_t i) const
+{
+    if (i >= count_)
+        panic("IB peek(%u) with %u bytes buffered", i, count_);
+    return buf_[i];
+}
+
+void
+IBox::consume(uint32_t n)
+{
+    if (n > count_)
+        panic("IB consume(%u) with %u bytes buffered", n, count_);
+    for (uint32_t i = 0; i + n < count_; ++i)
+        buf_[i] = buf_[i + n];
+    count_ -= n;
+}
+
+void
+IBox::clearTbMiss()
+{
+    tbMiss_ = false;
+}
+
+void
+IBox::deliver(uint64_t now)
+{
+    if (!fillPending_ || now < fillReadyAt_)
+        return;
+    fillPending_ = false;
+
+    // Accept as many of the arrived longword's bytes as there is room
+    // for *now* (paper §4.1).
+    uint32_t lw_off = fillVa_ & 3;
+    uint32_t avail_in_lw = 4 - lw_off;
+    uint32_t room = Capacity - count_;
+    uint32_t take = avail_in_lw < room ? avail_in_lw : room;
+    for (uint32_t i = 0; i < take; ++i)
+        buf_[count_ + i] = static_cast<uint8_t>(
+            fillData_ >> (8 * (lw_off + i)));
+    count_ += take;
+    fetchVa_ = fillVa_ + take;
+}
+
+void
+IBox::startFill(uint64_t now)
+{
+    if (justRedirected_) {
+        justRedirected_ = false;
+        return;
+    }
+    if (fillPending_ || tbMiss_ || count_ >= Capacity)
+        return;
+
+    arch::PAddr pa = fetchVa_;
+    if (mapEnabled_) {
+        if (!tb_.lookup(fetchVa_, true, pa)) {
+            tbMiss_ = true;
+            tbMissVa_ = fetchVa_;
+            ++stats_.tbMisses;
+            return;
+        }
+    }
+
+    uint64_t ready = 0;
+    fillData_ = memsys_.ifetch(pa, now, ready);
+    fillVa_ = fetchVa_;
+    // The IB port takes two cycles to return a longword on a cache
+    // hit (request, access, accept); misses take the SBI latency.
+    fillReadyAt_ = ready > now + 2 ? ready : now + 2;
+    fillPending_ = true;
+    ++stats_.fills;
+}
+
+} // namespace upc780::cpu

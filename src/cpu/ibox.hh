@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The I-Fetch stage and 8-byte Instruction Buffer of the 11/780
+ * (paper §2.1, §4.1). The IB autonomously issues a cache reference
+ * whenever one or more bytes are empty; when the requested longword
+ * arrives it accepts as many bytes as it then has room for, so it can
+ * reference the same longword up to four times. An I-stream TB miss
+ * sets a flag; the EBOX discovers it when a decode finds insufficient
+ * bytes and services the miss by microtrap.
+ */
+
+#ifndef UPC780_CPU_IBOX_HH
+#define UPC780_CPU_IBOX_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+#include "common/stats.hh"
+#include "mem/memsys.hh"
+#include "mmu/pagetable.hh"
+#include "mmu/tb.hh"
+
+namespace upc780::cpu
+{
+
+using arch::VAddr;
+
+/** IB activity counters (hardware-level; not visible to the UPC). */
+struct IBoxStats
+{
+    upc780::Counter fills;      //!< longword references issued
+    upc780::Counter redirects;  //!< flushes from taken branches
+    upc780::Counter tbMisses;   //!< I-stream translation misses
+};
+
+/** The instruction buffer and its fill engine. */
+class IBox
+{
+  public:
+    static constexpr uint32_t Capacity = 8;
+
+    IBox(mem::MemorySubsystem &memsys, mmu::TranslationBuffer &tb);
+
+    /** Flush the IB and begin fetching at @p pc (taken branch). */
+    void redirect(VAddr pc);
+
+    /** Enable/disable address translation (MAPEN). */
+    void setMapEnable(bool on) { mapEnabled_ = on; }
+
+    /** Accept any arrived fill data. Call at the start of each cycle. */
+    void deliver(uint64_t now);
+
+    /**
+     * Issue a new fill reference if a slot is empty and no fill or TB
+     * miss is outstanding. Call at the end of each cycle.
+     */
+    void startFill(uint64_t now);
+
+    /** Buffered byte count. */
+    uint32_t available() const { return count_; }
+
+    /** Peek buffered byte @p i (i < available()). */
+    uint8_t peek(uint32_t i) const;
+
+    /** Consume @p n buffered bytes. */
+    void consume(uint32_t n);
+
+    /** True if fetching is blocked on an I-stream TB miss. */
+    bool tbMissPending() const { return tbMiss_; }
+
+    /** The VA whose translation missed. */
+    VAddr tbMissVa() const { return tbMissVa_; }
+
+    /** Resume fetching after the miss routine filled the TB. */
+    void clearTbMiss();
+
+    const IBoxStats &stats() const { return stats_; }
+
+  private:
+    mem::MemorySubsystem &memsys_;
+    mmu::TranslationBuffer &tb_;
+
+    uint8_t buf_[Capacity] = {};
+    uint32_t count_ = 0;
+    VAddr fetchVa_ = 0;      //!< VA of the next byte to fetch
+    bool mapEnabled_ = false;
+
+    bool fillPending_ = false;
+    uint64_t fillReadyAt_ = 0;
+    uint32_t fillData_ = 0;    //!< the fetched aligned longword
+    VAddr fillVa_ = 0;         //!< first byte wanted from it
+
+    bool tbMiss_ = false;
+    VAddr tbMissVa_ = 0;
+    bool justRedirected_ = false;
+
+    IBoxStats stats_;
+};
+
+} // namespace upc780::cpu
+
+#endif // UPC780_CPU_IBOX_HH

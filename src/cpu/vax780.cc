@@ -1,0 +1,97 @@
+#include "cpu/vax780.hh"
+
+#include <algorithm>
+
+namespace upc780::cpu
+{
+
+Vax780::Vax780(const MachineConfig &config)
+    : memsys_(config.mem),
+      tb_(config.tb),
+      ibox_(memsys_, tb_),
+      ebox_(config.fpa ? ucode::microcodeImage()
+                       : ucode::microcodeImageNoFpa(),
+            memsys_, tb_, ibox_)
+{
+    ebox_.setInterruptController(this);
+    ebox_.setDecodeDeliversFirstOperand(config.rmodeDecode);
+}
+
+const ucode::MicrocodeImage &
+Vax780::microcode() const
+{
+    return ebox_.image();
+}
+
+void
+Vax780::detachProbe(CycleProbe *p)
+{
+    probes_.erase(std::remove(probes_.begin(), probes_.end(), p),
+                  probes_.end());
+}
+
+bool
+Vax780::highestPending(uint32_t &level, uint32_t &vector)
+{
+    uint32_t best_level = 0, best_vector = 0;
+    for (Device *d : devices_) {
+        uint32_t l = 0, v = 0;
+        if (d->requesting(l, v) && l > best_level) {
+            best_level = l;
+            best_vector = v;
+        }
+    }
+    if (best_level == 0)
+        return false;
+    level = best_level;
+    vector = best_vector;
+    return true;
+}
+
+void
+Vax780::acknowledge(uint32_t level)
+{
+    for (Device *d : devices_) {
+        uint32_t l = 0, v = 0;
+        if (d->requesting(l, v) && l == level) {
+            d->acknowledge();
+            return;
+        }
+    }
+}
+
+bool
+Vax780::tick()
+{
+    // Deliver any I-stream fill that completed.
+    ibox_.deliver(cycles_);
+
+    // The EBOX consumes one cycle.
+    CycleOut out = ebox_.cycle(cycles_);
+
+    // Passive monitors observe the micro-PC and stall state.
+    for (CycleProbe *p : probes_)
+        p->cycle(out.upc, out.stalled);
+
+    // The I-Fetch engine issues a new reference if a byte is free;
+    // it runs concurrently with EBOX stalls.
+    ibox_.startFill(cycles_);
+
+    // Devices advance.
+    for (Device *d : devices_)
+        d->tick(cycles_);
+
+    ++cycles_;
+    return !out.halted;
+}
+
+uint64_t
+Vax780::run(uint64_t max_cycles)
+{
+    uint64_t n = 0;
+    while (n < max_cycles && tick())
+        ++n;
+    return n;
+}
+
+} // namespace upc780::cpu

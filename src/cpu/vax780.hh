@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The complete VAX-11/780 machine model: EBOX + IBox + TB + memory
+ * subsystem + devices, advanced one 200 ns cycle at a time. Hardware
+ * monitors (the UPC histogram board, the cache-study counters) attach
+ * here as passive probes, exactly as the paper's monitor attached to
+ * the real machine's backplane.
+ */
+
+#ifndef UPC780_CPU_VAX780_HH
+#define UPC780_CPU_VAX780_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/ebox.hh"
+#include "cpu/ibox.hh"
+#include "mem/memsys.hh"
+#include "mmu/tb.hh"
+#include "ucode/controlstore.hh"
+
+namespace upc780::cpu
+{
+
+/**
+ * Passive per-cycle probe (the UPC monitor implements this). The probe
+ * sees the control-store address of each cycle and whether it was a
+ * read/write-stalled cycle — nothing else, matching the visibility of
+ * the paper's hardware monitor.
+ */
+class CycleProbe
+{
+  public:
+    virtual ~CycleProbe() = default;
+    virtual void cycle(ucode::UAddr upc, bool stalled) = 0;
+};
+
+/** A bus device that can request interrupts. */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+    /** Advance device state to @p now (called every machine cycle). */
+    virtual void tick(uint64_t now) = 0;
+    /** Interrupt request: fill level/vector if requesting. */
+    virtual bool requesting(uint32_t &level, uint32_t &vector) = 0;
+    /** The CPU dispatched this device's interrupt. */
+    virtual void acknowledge() = 0;
+};
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    mem::MemSysConfig mem;
+    mmu::TbConfig tb;
+    bool fpa = true;  //!< Floating Point Accelerator installed
+    /** RMODE decode optimization (see Ebox); off keeps exact counts. */
+    bool rmodeDecode = false;
+};
+
+/** The composed machine. */
+class Vax780 : public InterruptController
+{
+  public:
+    explicit Vax780(const MachineConfig &config = MachineConfig{});
+
+    /** One machine cycle. Returns false once halted. */
+    bool tick();
+
+    /** Run until halted or @p max_cycles elapse. */
+    uint64_t run(uint64_t max_cycles);
+
+    uint64_t cycles() const { return cycles_; }
+
+    Ebox &ebox() { return ebox_; }
+    IBox &ibox() { return ibox_; }
+
+    /** The microprogram this machine runs. */
+    const ucode::MicrocodeImage &microcode() const;
+    mem::MemorySubsystem &memsys() { return memsys_; }
+    mmu::TranslationBuffer &tb() { return tb_; }
+
+    /** Attach a passive per-cycle probe (multiple allowed). */
+    void attachProbe(CycleProbe *p) { probes_.push_back(p); }
+    void detachProbe(CycleProbe *p);
+
+    /** Register an interrupting device. */
+    void addDevice(Device *d) { devices_.push_back(d); }
+
+    // InterruptController (aggregates devices for the EBOX).
+    bool highestPending(uint32_t &level, uint32_t &vector) override;
+    void acknowledge(uint32_t level) override;
+
+  private:
+    mem::MemorySubsystem memsys_;
+    mmu::TranslationBuffer tb_;
+    IBox ibox_;
+    Ebox ebox_;
+
+    std::vector<CycleProbe *> probes_;
+    std::vector<Device *> devices_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace upc780::cpu
+
+#endif // UPC780_CPU_VAX780_HH

@@ -1,0 +1,103 @@
+#include "cpu/vaxfloat.hh"
+
+#include <cmath>
+
+namespace upc780::cpu
+{
+
+namespace
+{
+
+/** Swap the 16-bit words of a longword (VAX float memory order). */
+uint32_t
+wswap(uint32_t v)
+{
+    return (v << 16) | (v >> 16);
+}
+
+} // namespace
+
+double
+fFloatToDouble(uint32_t raw)
+{
+    uint32_t v = wswap(raw);
+    uint32_t sign = (v >> 31) & 1;
+    uint32_t exp = (v >> 23) & 0xff;
+    uint32_t frac = v & 0x7fffff;
+    if (exp == 0)
+        return 0.0;  // true zero or reserved; treat as zero
+    // Hidden bit convention: 0.1f * 2^(exp-128).
+    double mant = (1.0 + static_cast<double>(frac) / 8388608.0) / 2.0;
+    double val = std::ldexp(mant, static_cast<int>(exp) - 128);
+    return sign ? -val : val;
+}
+
+uint32_t
+doubleToFFloat(double v)
+{
+    if (v == 0.0 || !std::isfinite(v))
+        return 0;
+    uint32_t sign = v < 0 ? 1u : 0u;
+    double a = std::fabs(v);
+    int e = 0;
+    double m = std::frexp(a, &e);  // m in [0.5, 1)
+    int exp = e + 128;
+    if (exp <= 0)
+        return 0;  // underflow to zero
+    if (exp > 255) {
+        exp = 255;
+        m = 0.9999999;
+    }
+    uint32_t frac =
+        static_cast<uint32_t>((m * 2.0 - 1.0) * 8388608.0) & 0x7fffff;
+    uint32_t out = (sign << 31) | (static_cast<uint32_t>(exp) << 23) |
+                   frac;
+    return wswap(out);
+}
+
+double
+dFloatToDouble(uint64_t raw)
+{
+    // D_floating: same exponent field as F, 55 fraction bits, stored
+    // as four word-swapped 16-bit words; the low longword holds the
+    // sign/exponent/high-fraction word pair.
+    uint32_t lo = static_cast<uint32_t>(raw);
+    uint32_t hi = static_cast<uint32_t>(raw >> 32);
+    uint32_t v = wswap(lo);
+    uint32_t sign = (v >> 31) & 1;
+    uint32_t exp = (v >> 23) & 0xff;
+    if (exp == 0)
+        return 0.0;
+    uint64_t frac = (static_cast<uint64_t>(v & 0x7fffff) << 32) |
+                    wswap(hi);
+    double mant =
+        (1.0 + static_cast<double>(frac) / 9007199254740992.0) / 2.0;
+    double val = std::ldexp(mant, static_cast<int>(exp) - 128);
+    return sign ? -val : val;
+}
+
+uint64_t
+doubleToDFloat(double v)
+{
+    if (v == 0.0 || !std::isfinite(v))
+        return 0;
+    uint32_t sign = v < 0 ? 1u : 0u;
+    double a = std::fabs(v);
+    int e = 0;
+    double m = std::frexp(a, &e);
+    int exp = e + 128;
+    if (exp <= 0)
+        return 0;
+    if (exp > 255) {
+        exp = 255;
+        m = 0.9999999;
+    }
+    uint64_t frac55 = static_cast<uint64_t>(
+        (m * 2.0 - 1.0) * 9007199254740992.0) & 0x7fffffffffffffull;
+    uint32_t w0 = (sign << 31) | (static_cast<uint32_t>(exp) << 23) |
+                  static_cast<uint32_t>(frac55 >> 32);
+    uint32_t w1 = static_cast<uint32_t>(frac55);
+    return (static_cast<uint64_t>(wswap(w1)) << 32) | wswap(w0);
+}
+
+} // namespace upc780::cpu

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * VAX F_floating and D_floating conversion helpers. The EBOX datapath
+ * computes on host doubles and converts to/from the VAX memory
+ * formats; overflow saturates and reserved operands are treated as
+ * zero (arithmetic exception traps are outside this model's scope).
+ */
+
+#ifndef UPC780_CPU_VAXFLOAT_HH
+#define UPC780_CPU_VAXFLOAT_HH
+
+#include <cstdint>
+
+namespace upc780::cpu
+{
+
+/** Decode a VAX F_floating (32-bit, word-swapped) to a double. */
+double fFloatToDouble(uint32_t raw);
+
+/** Encode a double as VAX F_floating (saturating). */
+uint32_t doubleToFFloat(double v);
+
+/** Decode a VAX D_floating (64-bit) to a double. */
+double dFloatToDouble(uint64_t raw);
+
+/** Encode a double as VAX D_floating (saturating). */
+uint64_t doubleToDFloat(double v);
+
+} // namespace upc780::cpu
+
+#endif // UPC780_CPU_VAXFLOAT_HH

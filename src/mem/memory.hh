@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flat physical memory. The measured machines had 8 Megabytes; the
+ * model defaults to the same.
+ */
+
+#ifndef UPC780_MEM_MEMORY_HH
+#define UPC780_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace upc780::mem
+{
+
+using arch::PAddr;
+
+/** Byte-addressable physical memory array. */
+class PhysicalMemory
+{
+  public:
+    static constexpr uint32_t DefaultSize = 8u * 1024 * 1024;
+
+    explicit PhysicalMemory(uint32_t size_bytes = DefaultSize);
+
+    uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+    uint8_t readByte(PAddr pa) const;
+    void writeByte(PAddr pa, uint8_t v);
+
+    /** Little-endian read of @p n bytes (1..8), any alignment. */
+    uint64_t read(PAddr pa, uint32_t n) const;
+
+    /** Little-endian write of @p n bytes (1..8), any alignment. */
+    void write(PAddr pa, uint32_t n, uint64_t v);
+
+    /** Copy a block into memory (workload image loading). */
+    void load(PAddr pa, const uint8_t *src, uint32_t n);
+
+    /** Zero a block. */
+    void clear(PAddr pa, uint32_t n);
+
+  private:
+    void check(PAddr pa, uint32_t n) const;
+
+    std::vector<uint8_t> data_;
+};
+
+} // namespace upc780::mem
+
+#endif // UPC780_MEM_MEMORY_HH

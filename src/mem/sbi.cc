@@ -1,0 +1,32 @@
+#include "mem/sbi.hh"
+
+namespace upc780::mem
+{
+
+uint64_t
+Sbi::start(uint64_t now, uint32_t latency)
+{
+    uint64_t begin = now;
+    if (busyUntil_ > now) {
+        stats_.contentionCycles += busyUntil_ - now;
+        begin = busyUntil_;
+    }
+    busyUntil_ = begin + latency;
+    return busyUntil_;
+}
+
+uint64_t
+Sbi::startRead(uint64_t now)
+{
+    ++stats_.readTransactions;
+    return start(now, config_.readLatency);
+}
+
+uint64_t
+Sbi::startWrite(uint64_t now)
+{
+    ++stats_.writeTransactions;
+    return start(now, config_.writeLatency);
+}
+
+} // namespace upc780::mem

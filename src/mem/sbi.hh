@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synchronous Backplane Interconnect (SBI) occupancy model. The SBI
+ * carries cache-miss fills, write-through traffic, and IB refill
+ * misses to memory. A transaction holds the path for a fixed number
+ * of cycles; a requester arriving while the path is busy waits.
+ */
+
+#ifndef UPC780_MEM_SBI_HH
+#define UPC780_MEM_SBI_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace upc780::mem
+{
+
+/** SBI timing parameters (in 200 ns EBOX cycles). */
+struct SbiConfig
+{
+    /** Cycles from read request to data return (paper: 6). */
+    uint32_t readLatency = 6;
+    /** Cycles a memory write occupies the path (paper: 6). */
+    uint32_t writeLatency = 6;
+};
+
+/** Counters for SBI activity. */
+struct SbiStats
+{
+    upc780::Counter readTransactions;
+    upc780::Counter writeTransactions;
+    upc780::Counter contentionCycles;  //!< cycles spent queued
+};
+
+/** Single-path bus occupancy tracker. */
+class Sbi
+{
+  public:
+    explicit Sbi(const SbiConfig &config = SbiConfig{})
+        : config_(config)
+    {}
+
+    /**
+     * Start a read transaction at cycle @p now.
+     * @retval cycle at which the data is available.
+     */
+    uint64_t startRead(uint64_t now);
+
+    /**
+     * Start a write transaction at cycle @p now.
+     * @retval cycle at which the path (and the write buffer entry)
+     *         frees.
+     */
+    uint64_t startWrite(uint64_t now);
+
+    /** Cycle until which the path is occupied. */
+    uint64_t busyUntil() const { return busyUntil_; }
+
+    const SbiConfig &config() const { return config_; }
+    const SbiStats &stats() const { return stats_; }
+
+  private:
+    uint64_t start(uint64_t now, uint32_t latency);
+
+    SbiConfig config_;
+    uint64_t busyUntil_ = 0;
+    SbiStats stats_;
+};
+
+} // namespace upc780::mem
+
+#endif // UPC780_MEM_SBI_HH

@@ -1,0 +1,43 @@
+#include "mem/writebuffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/sbi.hh"
+
+namespace upc780::mem
+{
+
+WriteBuffer::WriteBuffer(Sbi &sbi, uint32_t depth)
+    : sbi_(sbi), depth_(depth)
+{
+    if (depth_ == 0)
+        fatal("write buffer depth must be at least 1");
+    inflight_.assign(depth_, 0);
+}
+
+uint32_t
+WriteBuffer::issue(uint64_t now)
+{
+    ++stats_.writes;
+
+    // The buffer entry that frees earliest.
+    auto slot = std::min_element(inflight_.begin(), inflight_.end());
+    uint32_t stall = 0;
+    if (*slot > now) {
+        stall = static_cast<uint32_t>(*slot - now);
+        ++stats_.stalls;
+        stats_.stallCycles += stall;
+    }
+    uint64_t accepted = now + stall;
+    *slot = sbi_.startWrite(accepted);
+    return stall;
+}
+
+uint64_t
+WriteBuffer::drainedAt() const
+{
+    return *std::max_element(inflight_.begin(), inflight_.end());
+}
+
+} // namespace upc780::mem

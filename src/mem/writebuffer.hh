@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 11/780's single-longword write buffer. A data write takes one
+ * EBOX cycle to initiate; the buffered write then drains to memory
+ * over the SBI. A subsequent write issued before the previous one has
+ * drained incurs a *write stall* (paper §2.1): the EBOX suspends until
+ * the buffer frees.
+ */
+
+#ifndef UPC780_MEM_WRITEBUFFER_HH
+#define UPC780_MEM_WRITEBUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace upc780::mem
+{
+
+class Sbi;
+
+/** Write buffer counters. */
+struct WriteBufferStats
+{
+    upc780::Counter writes;
+    upc780::Counter stalls;        //!< writes that had to wait
+    upc780::Counter stallCycles;   //!< total cycles waited
+};
+
+/** Depth-configurable write buffer (depth 1 models the 780). */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(Sbi &sbi, uint32_t depth = 1);
+
+    /**
+     * Issue a write at cycle @p now.
+     * @retval number of stall cycles incurred before the write could
+     *         be accepted.
+     */
+    uint32_t issue(uint64_t now);
+
+    /** Cycle at which all buffered writes have drained. */
+    uint64_t drainedAt() const;
+
+    const WriteBufferStats &stats() const { return stats_; }
+
+  private:
+    Sbi &sbi_;
+    uint32_t depth_;
+    /** Completion cycles of in-flight writes (ring, size = depth). */
+    std::vector<uint64_t> inflight_;
+    WriteBufferStats stats_;
+};
+
+} // namespace upc780::mem
+
+#endif // UPC780_MEM_WRITEBUFFER_HH

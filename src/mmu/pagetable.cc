@@ -1,0 +1,106 @@
+#include "mmu/pagetable.hh"
+
+#include "common/logging.hh"
+#include "mem/memory.hh"
+
+namespace upc780::mmu
+{
+
+std::optional<uint32_t>
+pteAddress(const MapRegisters &map_regs, VAddr va, bool &is_physical)
+{
+    uint32_t vpn = vpnOf(va);
+    switch (spaceOf(va)) {
+      case Space::S0:
+        is_physical = true;
+        if (vpn >= map_regs.slr)
+            return std::nullopt;
+        return map_regs.sbr + 4 * vpn;
+      case Space::P0:
+        is_physical = false;
+        if (vpn >= map_regs.p0lr)
+            return std::nullopt;
+        return map_regs.p0br + 4 * vpn;
+      case Space::P1:
+        is_physical = false;
+        // P1 grows downward: valid VPNs are [p1lr, 2^21); the table
+        // is indexed so that p1br points at the (virtual) PTE for
+        // VPN 0. We model the common VMS layout where p1lr is the
+        // lowest mapped VPN.
+        if (vpn < map_regs.p1lr)
+            return std::nullopt;
+        return map_regs.p1br + 4 * vpn;
+      default:
+        is_physical = true;
+        return std::nullopt;
+    }
+}
+
+std::optional<PAddr>
+walk(const mem::PhysicalMemory &memory, const MapRegisters &map_regs,
+     VAddr va)
+{
+    bool is_physical = false;
+    auto pte_addr = pteAddress(map_regs, va, is_physical);
+    if (!pte_addr)
+        return std::nullopt;
+
+    PAddr pte_pa;
+    if (is_physical) {
+        pte_pa = *pte_addr;
+    } else {
+        // The PTE itself lives in system virtual space: translate it
+        // through the system page table.
+        VAddr pte_va = *pte_addr;
+        if (spaceOf(pte_va) != Space::S0)
+            return std::nullopt;
+        uint32_t svpn = vpnOf(pte_va);
+        if (svpn >= map_regs.slr)
+            return std::nullopt;
+        uint32_t spte = static_cast<uint32_t>(
+            memory.read(map_regs.sbr + 4 * svpn, 4));
+        if (!pte::valid(spte))
+            return std::nullopt;
+        pte_pa = (pte::pfn(spte) << PageShift) | (pte_va & (PageBytes - 1));
+    }
+
+    uint32_t entry = static_cast<uint32_t>(memory.read(pte_pa, 4));
+    if (!pte::valid(entry))
+        return std::nullopt;
+    return (pte::pfn(entry) << PageShift) | (va & (PageBytes - 1));
+}
+
+PageTableBuilder::PageTableBuilder(mem::PhysicalMemory &memory,
+                                   PAddr table_region_base)
+    : memory_(memory), cursor_(table_region_base)
+{
+}
+
+PAddr
+PageTableBuilder::allocTable(uint32_t npte)
+{
+    PAddr base = cursor_;
+    uint32_t bytes = 4 * npte;
+    memory_.clear(base, bytes);
+    cursor_ += bytes;
+    // Keep tables longword aligned (they already are) and leave a
+    // small guard gap to make table overruns visible in tests.
+    cursor_ = (cursor_ + 63u) & ~63u;
+    return base;
+}
+
+void
+PageTableBuilder::setPte(PAddr table_pa, uint32_t vpn, uint32_t pfn_v)
+{
+    memory_.write(table_pa + 4 * vpn, 4, pte::make(pfn_v));
+}
+
+void
+PageTableBuilder::mapRange(PAddr table_pa, uint32_t first_vpn,
+                           uint32_t first_pfn, uint32_t npages)
+{
+    for (uint32_t i = 0; i < npages; ++i)
+        setPte(table_pa, first_vpn + i, first_pfn + i);
+}
+
+} // namespace upc780::mmu

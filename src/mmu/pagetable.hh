@@ -1,0 +1,162 @@
+/**
+ * @file
+ * VAX virtual memory structures: address-space regions, page table
+ * entries, and a software page-table builder/walker. The walker is the
+ * architectural reference model; at run time the *microcode* TB-miss
+ * routine performs the walk, charging cycles for each step.
+ */
+
+#ifndef UPC780_MMU_PAGETABLE_HH
+#define UPC780_MMU_PAGETABLE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/types.hh"
+
+namespace upc780::mem
+{
+class PhysicalMemory;
+} // namespace upc780::mem
+
+namespace upc780::mmu
+{
+
+using arch::PAddr;
+using arch::VAddr;
+
+/** VAX page size: 512 bytes. */
+constexpr uint32_t PageBytes = 512;
+constexpr uint32_t PageShift = 9;
+
+/** Virtual address space regions. */
+enum class Space : uint8_t
+{
+    P0,  //!< program region, VA 0x00000000 - 0x3FFFFFFF
+    P1,  //!< control (stack) region, VA 0x40000000 - 0x7FFFFFFF
+    S0,  //!< system region, VA 0x80000000 - 0xBFFFFFFF
+    Reserved,
+};
+
+/** Classify a virtual address. */
+constexpr Space
+spaceOf(VAddr va)
+{
+    switch (va >> 30) {
+      case 0:
+        return Space::P0;
+      case 1:
+        return Space::P1;
+      case 2:
+        return Space::S0;
+      default:
+        return Space::Reserved;
+    }
+}
+
+/** Virtual page number within its region. */
+constexpr uint32_t
+vpnOf(VAddr va)
+{
+    return (va & 0x3FFFFFFF) >> PageShift;
+}
+
+/** Page table entry: bit 31 valid, bits 20:0 page frame number. */
+namespace pte
+{
+constexpr uint32_t Valid = 1u << 31;
+constexpr uint32_t PfnMask = 0x001FFFFF;
+
+constexpr uint32_t
+make(uint32_t pfn)
+{
+    return Valid | (pfn & PfnMask);
+}
+
+constexpr bool
+valid(uint32_t e)
+{
+    return e & Valid;
+}
+
+constexpr uint32_t
+pfn(uint32_t e)
+{
+    return e & PfnMask;
+}
+} // namespace pte
+
+/**
+ * The per-context translation base/length registers the walker needs.
+ * On the VAX, SBR is a physical address while P0BR/P1BR are *system
+ * virtual* addresses, so a process-space PTE fetch may itself require
+ * a system-space translation (the "double miss").
+ */
+struct MapRegisters
+{
+    PAddr sbr = 0;    //!< system page table base (physical)
+    uint32_t slr = 0; //!< system page table length (PTE count)
+    VAddr p0br = 0;   //!< P0 page table base (system virtual)
+    uint32_t p0lr = 0;
+    VAddr p1br = 0;   //!< P1 page table base (system virtual)
+    uint32_t p1lr = 0;
+};
+
+/**
+ * Software reference walker: translate @p va using the page tables in
+ * @p memory. Returns nullopt for invalid/unmapped addresses. Performs
+ * the nested system translation for P0/P1 PTE fetches exactly as the
+ * microcode does.
+ */
+std::optional<PAddr> walk(const mem::PhysicalMemory &memory,
+                          const MapRegisters &map_regs, VAddr va);
+
+/**
+ * Compute the address of the PTE that maps @p va.
+ *
+ * @param is_physical out: true if the returned address is physical
+ *        (system space PTE); false if it is a system virtual address
+ *        (process space PTE) that itself needs translation.
+ * @retval PTE address, or nullopt if the VPN exceeds the region length.
+ */
+std::optional<uint32_t> pteAddress(const MapRegisters &map_regs, VAddr va,
+                                   bool &is_physical);
+
+/**
+ * Convenience builder that lays out page tables in physical memory
+ * and assembles identity-style mappings for workload construction.
+ */
+class PageTableBuilder
+{
+  public:
+    /**
+     * @param memory backing store
+     * @param table_region_base physical byte where page tables are
+     *        allocated from
+     */
+    PageTableBuilder(mem::PhysicalMemory &memory, PAddr table_region_base);
+
+    /** Allocate a page table of @p npte entries; returns its PA. */
+    PAddr allocTable(uint32_t npte);
+
+    /** Set one PTE in a table at physical @p table_pa. */
+    void setPte(PAddr table_pa, uint32_t vpn, uint32_t pfn);
+
+    /**
+     * Map @p npages pages starting at (space-relative) @p first_vpn
+     * to consecutive frames starting at @p first_pfn.
+     */
+    void mapRange(PAddr table_pa, uint32_t first_vpn, uint32_t first_pfn,
+                  uint32_t npages);
+
+    /** Next free physical byte in the table region. */
+    PAddr cursor() const { return cursor_; }
+
+  private:
+    mem::PhysicalMemory &memory_;
+    PAddr cursor_;
+};
+
+} // namespace upc780::mmu
+
+#endif // UPC780_MMU_PAGETABLE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * VAX internal processor register numbers (MTPR/MFPR operand codes)
+ * used by the VMS-lite substrate.
+ */
+
+#ifndef UPC780_MMU_PRREG_HH
+#define UPC780_MMU_PRREG_HH
+
+#include <cstdint>
+
+namespace upc780::mmu::pr
+{
+
+constexpr uint32_t KSP = 0;      //!< kernel stack pointer
+constexpr uint32_t ESP = 1;      //!< executive stack pointer
+constexpr uint32_t SSP = 2;      //!< supervisor stack pointer
+constexpr uint32_t USP = 3;      //!< user stack pointer
+constexpr uint32_t ISP = 4;      //!< interrupt stack pointer
+constexpr uint32_t P0BR = 8;     //!< P0 base register
+constexpr uint32_t P0LR = 9;     //!< P0 length register
+constexpr uint32_t P1BR = 10;    //!< P1 base register
+constexpr uint32_t P1LR = 11;    //!< P1 length register
+constexpr uint32_t SBR = 12;     //!< system base register
+constexpr uint32_t SLR = 13;     //!< system length register
+constexpr uint32_t PCBB = 16;    //!< process control block base
+constexpr uint32_t SCBB = 17;    //!< system control block base
+constexpr uint32_t IPL = 18;     //!< interrupt priority level
+constexpr uint32_t ASTLVL = 19;  //!< AST level
+constexpr uint32_t SIRR = 20;    //!< software interrupt request
+constexpr uint32_t SISR = 21;    //!< software interrupt summary
+constexpr uint32_t ICCS = 24;    //!< interval clock control
+constexpr uint32_t TODR = 27;    //!< time of day
+constexpr uint32_t MAPEN = 56;   //!< memory management enable
+constexpr uint32_t TBIA = 57;    //!< TB invalidate all
+constexpr uint32_t TBIS = 58;    //!< TB invalidate single
+
+constexpr uint32_t NumRegs = 64;
+
+} // namespace upc780::mmu::pr
+
+#endif // UPC780_MMU_PRREG_HH

@@ -1,0 +1,102 @@
+#include "mmu/tb.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace upc780::mmu
+{
+
+TranslationBuffer::TranslationBuffer(const TbConfig &config)
+    : config_(config)
+{
+    if (!isPow2(config_.entriesPerHalf))
+        fatal("TB half size must be a power of two");
+    entries_.resize(2u * config_.entriesPerHalf);
+}
+
+void
+TranslationBuffer::locate(VAddr va, uint32_t &half, uint32_t &set,
+                          uint32_t &tag) const
+{
+    // Half 0 holds process space (P0/P1), half 1 holds system space.
+    half = (spaceOf(va) == Space::S0) ? 1 : 0;
+    // Index by low VPN bits; the tag is the remaining VA page bits
+    // including the region bits so P0 and P1 pages do not alias.
+    uint32_t page = va >> PageShift;
+    set = page & (config_.entriesPerHalf - 1);
+    tag = page >> log2i(config_.entriesPerHalf);
+}
+
+bool
+TranslationBuffer::lookup(VAddr va, bool istream, PAddr &pa)
+{
+    if (istream)
+        ++stats_.iLookups;
+    else
+        ++stats_.dLookups;
+
+    uint32_t half, set, tag;
+    locate(va, half, set, tag);
+    const Entry &e = entries_[half * config_.entriesPerHalf + set];
+    if (config_.enabled && e.valid && e.tag == tag) {
+        pa = (e.pfn << PageShift) | (va & (PageBytes - 1));
+        return true;
+    }
+
+    if (istream)
+        ++stats_.iMisses;
+    else
+        ++stats_.dMisses;
+    return false;
+}
+
+bool
+TranslationBuffer::probe(VAddr va) const
+{
+    if (!config_.enabled)
+        return false;
+    uint32_t half, set, tag;
+    locate(va, half, set, tag);
+    const Entry &e = entries_[half * config_.entriesPerHalf + set];
+    return e.valid && e.tag == tag;
+}
+
+void
+TranslationBuffer::fill(VAddr va, uint32_t pfn)
+{
+    uint32_t half, set, tag;
+    locate(va, half, set, tag);
+    Entry &e = entries_[half * config_.entriesPerHalf + set];
+    e.valid = true;
+    e.tag = tag;
+    e.pfn = pfn;
+    ++stats_.fills;
+}
+
+void
+TranslationBuffer::flushProcess()
+{
+    for (uint32_t s = 0; s < config_.entriesPerHalf; ++s)
+        entries_[s].valid = false;
+    ++stats_.processFlushes;
+}
+
+void
+TranslationBuffer::flushAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+    ++stats_.allFlushes;
+}
+
+void
+TranslationBuffer::invalidateSingle(VAddr va)
+{
+    uint32_t half, set, tag;
+    locate(va, half, set, tag);
+    Entry &e = entries_[half * config_.entriesPerHalf + set];
+    if (e.valid && e.tag == tag)
+        e.valid = false;
+}
+
+} // namespace upc780::mmu

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * VMS-lite: the multiprogramming substrate the measurement runs on.
+ *
+ * The kernel is real VAX code (assembled at build time into system
+ * space) for everything on the instruction-execution path — interrupt
+ * service routines, the rescheduling software interrupt, the CHMK
+ * system-service gate, SVPCTX/LDPCTX context switching, and the Null
+ * (idle) process — so that operating-system execution contributes to
+ * the measurements exactly as the paper insists it must (§1).
+ * Policy decisions (run-queue choice, think-time sampling, terminal
+ * event generation) live behind the XFC escape, playing the role of
+ * the machine-specific RTE scripts and VMS data structures.
+ */
+
+#ifndef UPC780_OS_KERNEL_HH
+#define UPC780_OS_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/vax780.hh"
+#include "os/devices.hh"
+#include "os/layout.hh"
+
+namespace upc780::os
+{
+
+/** Kernel configuration. */
+struct OsConfig
+{
+    /** Interval-clock period in cycles (real 780: 10 ms; scaled). */
+    uint64_t timerPeriodCycles = 7000;
+    /** Scheduler quantum in clock ticks. */
+    uint32_t quantumTicks = 10;
+    uint64_t seed = 0x05;
+};
+
+/** A process to load: its P0 image plus behavioural parameters. */
+struct ProcessImage
+{
+    std::vector<uint8_t> p0Image;  //!< loaded at P0 VA 0
+    arch::VAddr entry = 0;
+    uint32_t p0Pages = 64;         //!< total mapped P0 pages
+    uint32_t p1StackPages = 8;     //!< user stack pages at top of P1
+    double thinkMeanCycles = 150000;  //!< terminal think time
+};
+
+/** Kernel statistics (cross-checks for Table 7). */
+struct OsStats
+{
+    uint64_t contextSwitches = 0;
+    uint64_t reschedRequests = 0;  //!< resched software interrupts
+    uint64_t forkRequests = 0;     //!< fork-level software interrupts
+    uint64_t syscalls = 0;
+    uint64_t termWrites = 0;
+
+    uint64_t
+    softIntRequests() const
+    {
+        return reschedRequests + forkRequests;
+    }
+};
+
+/** The VMS-lite kernel. */
+class VmsLite
+{
+  public:
+    VmsLite(cpu::Vax780 &machine, const OsConfig &config = OsConfig{});
+
+    /** Register a process before boot(); returns its pid (>= 1). */
+    int addProcess(const ProcessImage &image);
+
+    /**
+     * Lay out memory, assemble the kernel, install devices, enable
+     * mapping and start the machine in the first process.
+     */
+    void boot();
+
+    /** Currently scheduled pid (0 = the Null process). */
+    int currentPid() const { return current_; }
+
+    bool idleScheduled() const { return current_ == 0; }
+
+    /** Hook invoked on every context switch: (pid, is_idle). */
+    void
+    setSwitchHook(std::function<void(int, bool)> fn)
+    {
+        switchHook_ = std::move(fn);
+    }
+
+    const OsStats &stats() const { return stats_; }
+    IntervalTimer &timer() { return *timer_; }
+    RteTerminal &terminal() { return *terminal_; }
+    size_t numProcesses() const { return procs_.size(); }
+
+  private:
+    struct Process
+    {
+        enum class State : uint8_t { Runnable, Blocked };
+        State state = State::Runnable;
+        bool isIdle = false;
+        arch::VAddr pcbVa = 0;
+        arch::VAddr kstackTop = 0;
+        uint32_t quantumLeft = 0;
+        double thinkMean = 0;
+    };
+
+    void buildSystemMap();
+    void buildKernelCode();
+    void buildScb();
+    void installProcess(int pid, const ProcessImage *image);
+
+    /** Direct physical write helper for pre-boot setup. */
+    void physWrite(arch::PAddr pa, uint32_t n, uint64_t v);
+
+    void assist(cpu::Ebox &ebox);
+    void pickNext(cpu::Ebox &ebox, bool first);
+    void onTimerTick(cpu::Ebox &ebox);
+    void onTermEvent(cpu::Ebox &ebox);
+    void onSyscall(cpu::Ebox &ebox, uint32_t code);
+    void requestResched(cpu::Ebox &ebox);
+
+    bool anyRunnableProcess() const;
+
+    cpu::Vax780 &machine_;
+    OsConfig cfg_;
+    upc780::Rng rng_;
+
+    std::vector<Process> procs_;  //!< index 0 is the Null process
+    std::vector<ProcessImage> pendingImages_;
+    int current_ = 0;
+    unsigned rr_ = 1;  //!< round-robin pointer
+
+    std::unique_ptr<IntervalTimer> timer_;
+    std::unique_ptr<RteTerminal> terminal_;
+
+    // Kernel label addresses (resolved during assembly).
+    arch::VAddr bootVa_ = 0;
+    arch::VAddr schedResumeVa_ = 0;
+    arch::VAddr timerIsrVa_ = 0;
+    arch::VAddr termIsrVa_ = 0;
+    arch::VAddr schedIsrVa_ = 0;
+    arch::VAddr forkIsrVa_ = 0;
+    arch::VAddr chmkIsrVa_ = 0;
+    arch::VAddr idleVa_ = 0;
+
+    arch::PAddr procAlloc_ = pmap::ProcRegion;
+    arch::PAddr tableAlloc_ = pmap::TableRegion;
+    uint64_t tickCount_ = 0;
+
+    OsStats stats_;
+    std::function<void(int, bool)> switchHook_;
+    bool booted_ = false;
+};
+
+} // namespace upc780::os
+
+#endif // UPC780_OS_KERNEL_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * VMS-lite memory layout, PCB format, SCB vector assignments, system
+ * service numbers and XFC-assist function codes, shared between the
+ * kernel builder, the execute unit and the workload layer.
+ */
+
+#ifndef UPC780_OS_LAYOUT_HH
+#define UPC780_OS_LAYOUT_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace upc780::os
+{
+
+using arch::PAddr;
+using arch::VAddr;
+
+// ----- physical memory map ------------------------------------------------
+namespace pmap
+{
+constexpr PAddr Scb = 0x00001000;        //!< system control block
+constexpr PAddr KernelBase = 0x00002000; //!< kernel code/data
+constexpr PAddr SysPageTable = 0x00100000;
+constexpr PAddr TableRegion = 0x00104000; //!< process page tables
+constexpr PAddr ProcRegion = 0x00200000;  //!< process pages from here
+constexpr uint32_t SysMappedBytes = 0x00200000; //!< S0 identity window
+} // namespace pmap
+
+// ----- system virtual layout -----------------------------------------------
+namespace vmap
+{
+constexpr VAddr S0Base = 0x80000000;
+
+constexpr VAddr
+sysVa(PAddr pa)
+{
+    return S0Base + pa;
+}
+
+constexpr VAddr KernelCode = sysVa(pmap::KernelBase);
+/** Kernel data page (flags, counters) follows the code region. */
+constexpr VAddr KernelData = sysVa(0x00008000);
+/** Interrupt stack top. */
+constexpr VAddr IStackTop = sysVa(0x0000A000);
+/** Boot stack top. */
+constexpr VAddr BootStackTop = sysVa(0x0000B000);
+/** Per-process kernel structures (PCB + kernel stack), 8 KB stride. */
+constexpr VAddr ProcKernelBase = sysVa(0x00010000);
+constexpr uint32_t ProcKernelStride = 0x2000;
+} // namespace vmap
+
+// ----- kernel data cells -----------------------------------------------------
+namespace kdata
+{
+constexpr VAddr ReschedFlag = vmap::KernelData + 0x00;
+constexpr VAddr TickCount = vmap::KernelData + 0x04;
+constexpr VAddr SyscallCount = vmap::KernelData + 0x08;
+constexpr VAddr ForkFlag = vmap::KernelData + 0x0C;
+constexpr VAddr ForkCount = vmap::KernelData + 0x10;
+} // namespace kdata
+
+// ----- PCB format (longword indices) ------------------------------------------
+namespace pcb
+{
+constexpr uint32_t R0 = 0;   //!< R0..R11 at 0..11
+constexpr uint32_t Ap = 12;
+constexpr uint32_t Fp = 13;
+constexpr uint32_t Sp = 14;  //!< kernel-mode SP
+constexpr uint32_t Pc = 15;
+constexpr uint32_t Psl = 16;
+constexpr uint32_t P0br = 17;
+constexpr uint32_t P0lr = 18;
+constexpr uint32_t P1br = 19;
+constexpr uint32_t P1lr = 20;
+constexpr uint32_t Usp = 21;  //!< user-mode SP
+constexpr uint32_t NumWords = 22;
+} // namespace pcb
+
+// ----- SCB vector numbers (SCB entry = handler VA | use-interrupt-stack) ------
+namespace vec
+{
+constexpr uint32_t Resched = 3;   //!< software, runs on kernel stack
+constexpr uint32_t Fork = 6;      //!< software fork level (I/O post)
+constexpr uint32_t Terminal = 20; //!< RTE terminal mux (IPL 20)
+constexpr uint32_t Timer = 24;    //!< interval clock (IPL 24)
+constexpr uint32_t Chmk = 32;     //!< change-mode-to-kernel trap
+} // namespace vec
+
+// ----- system service (CHMK) codes ----------------------------------------------
+namespace sys
+{
+constexpr uint32_t TermWait = 1;  //!< wait for terminal input (blocks)
+constexpr uint32_t TermWrite = 2; //!< write terminal output
+constexpr uint32_t GetTime = 3;   //!< read the interval clock
+constexpr uint32_t Yield = 4;     //!< relinquish the processor
+} // namespace sys
+
+// ----- XFC assist function codes (in R0; argument in R1) -------------------------
+namespace assist
+{
+constexpr uint32_t PickFirst = 1;
+constexpr uint32_t PickNext = 2;
+constexpr uint32_t TimerTick = 3;
+constexpr uint32_t TermEvent = 4;
+constexpr uint32_t Syscall = 5;
+constexpr uint32_t ForkWork = 6;
+} // namespace assist
+
+} // namespace upc780::os
+
+#endif // UPC780_OS_LAYOUT_HH

@@ -1,0 +1,166 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+#include "ucode/controlstore.hh"
+#include "workload/codegen.hh"
+
+namespace upc780::sim
+{
+
+void
+HwCounters::accumulate(const HwCounters &o)
+{
+    dReads += o.dReads;
+    dReadMisses += o.dReadMisses;
+    iReads += o.iReads;
+    iReadMisses += o.iReadMisses;
+    writes += o.writes;
+    writeStallCycles += o.writeStallCycles;
+    unalignedRefs += o.unalignedRefs;
+    tbDMisses += o.tbDMisses;
+    tbIMisses += o.tbIMisses;
+    ibFills += o.ibFills;
+}
+
+uint64_t
+CompositeResult::instructions() const
+{
+    return histogram.count(ucode::microcodeImage().marks.decode);
+}
+
+namespace
+{
+
+/** Snapshot the hardware counters of a machine. */
+HwCounters
+snapshot(cpu::Vax780 &m)
+{
+    HwCounters c;
+    const auto &cs = m.memsys().cache().stats();
+    c.dReads = cs.dReads.value();
+    c.dReadMisses = cs.dReadMisses.value();
+    c.iReads = cs.iReads.value();
+    c.iReadMisses = cs.iReadMisses.value();
+    c.writes = cs.writes.value();
+    c.writeStallCycles =
+        m.memsys().writeBuffer().stats().stallCycles.value();
+    c.unalignedRefs = m.memsys().unalignedRefs();
+    const auto &ts = m.tb().stats();
+    c.tbDMisses = ts.dMisses.value();
+    c.tbIMisses = ts.iMisses.value();
+    c.ibFills = m.ibox().stats().fills.value();
+    return c;
+}
+
+HwCounters
+delta(const HwCounters &a, const HwCounters &b)
+{
+    HwCounters d;
+    d.dReads = b.dReads - a.dReads;
+    d.dReadMisses = b.dReadMisses - a.dReadMisses;
+    d.iReads = b.iReads - a.iReads;
+    d.iReadMisses = b.iReadMisses - a.iReadMisses;
+    d.writes = b.writes - a.writes;
+    d.writeStallCycles = b.writeStallCycles - a.writeStallCycles;
+    d.unalignedRefs = b.unalignedRefs - a.unalignedRefs;
+    d.tbDMisses = b.tbDMisses - a.tbDMisses;
+    d.tbIMisses = b.tbIMisses - a.tbIMisses;
+    d.ibFills = b.ibFills - a.ibFills;
+    return d;
+}
+
+} // namespace
+
+WorkloadResult
+ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
+{
+    cpu::Vax780 machine(cfg_.machine);
+    os::VmsLite vms(machine, cfg_.os);
+
+    for (const auto &image : wkl::buildWorkload(profile))
+        vms.addProcess(image);
+
+    upc::UpcMonitor monitor;
+    machine.attachProbe(&monitor);
+
+    // Gate the monitor across context switches so the Null process is
+    // excluded from measurement, as the paper's data reduction did.
+    bool measuring = false;
+    bool in_idle = false;
+    vms.setSwitchHook([&](int, bool is_idle) {
+        in_idle = is_idle;
+        if (!measuring)
+            return;
+        if (cfg_.excludeIdle && is_idle)
+            monitor.stop();
+        else
+            monitor.start();
+    });
+
+    vms.boot();
+
+    const ucode::UAddr decode_addr =
+        ucode::microcodeImage().marks.decode;
+    uint64_t max_cycles = cfg_.maxCycles
+                              ? cfg_.maxCycles
+                              : 80 * (cfg_.instructionsPerWorkload +
+                                      cfg_.warmupInstructions) +
+                                    10000000;
+
+    // Warm-up: run unmeasured.
+    while (machine.ebox().instructions() < cfg_.warmupInstructions) {
+        if (!machine.tick() || machine.cycles() > max_cycles)
+            fatal("machine halted or hung during warm-up");
+    }
+
+    // Measurement interval.
+    measuring = true;
+    if (!(cfg_.excludeIdle && in_idle))
+        monitor.start();
+    HwCounters before = snapshot(machine);
+    uint64_t cycles_at_start = machine.cycles();
+
+    while (monitor.histogram().count(decode_addr) <
+           cfg_.instructionsPerWorkload) {
+        if (!machine.tick())
+            fatal("machine halted during measurement");
+        if (machine.cycles() - cycles_at_start > max_cycles)
+            fatal("measurement did not reach its instruction budget "
+                  "(%llu cycles elapsed)",
+                  static_cast<unsigned long long>(max_cycles));
+    }
+    monitor.stop();
+
+    WorkloadResult r;
+    r.name = profile.name;
+    r.histogram = monitor.histogram();
+    r.cycles = monitor.observedCycles();
+    r.hw = delta(before, snapshot(machine));
+    r.osStats = vms.stats();
+    r.timerInterrupts = vms.timer().interrupts();
+    r.terminalInterrupts = vms.terminal().interrupts();
+    return r;
+}
+
+CompositeResult
+ExperimentRunner::runComposite(
+    const std::vector<wkl::WorkloadProfile> &profiles)
+{
+    CompositeResult c;
+    for (const auto &p : profiles) {
+        WorkloadResult r = runWorkload(p);
+        c.histogram.accumulate(r.histogram);
+        c.hw.accumulate(r.hw);
+        c.osStats.contextSwitches += r.osStats.contextSwitches;
+        c.osStats.reschedRequests += r.osStats.reschedRequests;
+        c.osStats.forkRequests += r.osStats.forkRequests;
+        c.osStats.syscalls += r.osStats.syscalls;
+        c.osStats.termWrites += r.osStats.termWrites;
+        c.timerInterrupts += r.timerInterrupts;
+        c.terminalInterrupts += r.terminalInterrupts;
+        c.workloads.push_back(std::move(r));
+    }
+    return c;
+}
+
+} // namespace upc780::sim

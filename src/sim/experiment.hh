@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment harness: builds a machine + VMS-lite + a workload's user
+ * population, attaches the UPC monitor (and reads the cache-study
+ * hardware counters), runs a measurement interval, and collects the
+ * results. The composite runner reproduces the paper's methodology:
+ * five one-interval experiments whose histograms are summed (§2.2),
+ * with the Null process excluded from measurement by gating the
+ * monitor across context switches.
+ */
+
+#ifndef UPC780_SIM_EXPERIMENT_HH
+#define UPC780_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/vax780.hh"
+#include "os/kernel.hh"
+#include "upc/monitor.hh"
+#include "workload/profile.hh"
+
+namespace upc780::sim
+{
+
+/** Hardware-counter deltas over the measurement interval. */
+struct HwCounters
+{
+    uint64_t dReads = 0;
+    uint64_t dReadMisses = 0;
+    uint64_t iReads = 0;
+    uint64_t iReadMisses = 0;
+    uint64_t writes = 0;
+    uint64_t writeStallCycles = 0;
+    uint64_t unalignedRefs = 0;
+    uint64_t tbDMisses = 0;
+    uint64_t tbIMisses = 0;
+    uint64_t ibFills = 0;
+
+    void accumulate(const HwCounters &o);
+};
+
+/** Result of one workload measurement. */
+struct WorkloadResult
+{
+    std::string name;
+    upc::Histogram histogram;
+    uint64_t cycles = 0;        //!< cycles while the monitor ran
+    HwCounters hw;
+    os::OsStats osStats;
+    uint64_t timerInterrupts = 0;
+    uint64_t terminalInterrupts = 0;
+};
+
+/** The five-workload composite. */
+struct CompositeResult
+{
+    upc::Histogram histogram;   //!< bucket-wise sum
+    std::vector<WorkloadResult> workloads;
+    HwCounters hw;
+    os::OsStats osStats;
+    uint64_t timerInterrupts = 0;
+    uint64_t terminalInterrupts = 0;
+
+    /** Instructions measured (decode-bucket count). */
+    uint64_t instructions() const;
+};
+
+/** Experiment configuration. */
+struct ExperimentConfig
+{
+    cpu::MachineConfig machine;
+    os::OsConfig os;
+    /** Measured instructions per workload. */
+    uint64_t instructionsPerWorkload = 400000;
+    /** Instructions executed before measurement begins. */
+    uint64_t warmupInstructions = 40000;
+    /** Exclude the Null process, as the paper does (§2.2). */
+    bool excludeIdle = true;
+    /** Hard cycle cap (hang protection). */
+    uint64_t maxCycles = 0;  //!< 0: derived from instruction budget
+};
+
+/** Runs workloads under a fixed configuration. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const ExperimentConfig &config)
+        : cfg_(config)
+    {}
+
+    /** Run one workload and return its measurement. */
+    WorkloadResult runWorkload(const wkl::WorkloadProfile &profile);
+
+    /** Run several workloads and sum their histograms. */
+    CompositeResult
+    runComposite(const std::vector<wkl::WorkloadProfile> &profiles);
+
+    const ExperimentConfig &config() const { return cfg_; }
+
+  private:
+    ExperimentConfig cfg_;
+};
+
+} // namespace upc780::sim
+
+#endif // UPC780_SIM_EXPERIMENT_HH

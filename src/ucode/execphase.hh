@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ExecStep phase identifiers, shared between the microprogram (which
+ * places them in micro-op arg fields) and the EBOX execute unit
+ * (which interprets them). Each phase is one cycle of an iterative
+ * instruction's execution.
+ */
+
+#ifndef UPC780_UCODE_EXECPHASE_HH
+#define UPC780_UCODE_EXECPHASE_HH
+
+#include <cstdint>
+
+namespace upc780::ucode::phase
+{
+
+// Character / decimal string loops.
+constexpr uint16_t StrRead = 1;    //!< read next source longword
+constexpr uint16_t StrRead2 = 2;   //!< read next longword of stream 2
+constexpr uint16_t StrWrite = 3;   //!< write next destination longword
+constexpr uint16_t StrCheck = 4;   //!< compare/scan step; may end loop
+constexpr uint16_t StrFinish = 5;  //!< set final R0-R5 and cc
+
+// Register save/restore loops (PUSHR/POPR/CALL/RET/SVPCTX/LDPCTX).
+constexpr uint16_t PushReg = 10;   //!< push next register in mask
+constexpr uint16_t PopReg = 11;    //!< pop next register in mask
+constexpr uint16_t SaveReg = 12;   //!< store next register to PCB
+constexpr uint16_t LoadReg = 13;   //!< load next register from PCB
+
+// Procedure call / return.
+constexpr uint16_t ReadMask = 20;  //!< read entry mask word at dst
+constexpr uint16_t SetupFrame = 21;
+constexpr uint16_t PushNumarg = 22;
+constexpr uint16_t PushPc = 23;
+constexpr uint16_t PushFp = 24;
+constexpr uint16_t PushAp = 25;
+constexpr uint16_t PushMask = 26;
+constexpr uint16_t PushHandler = 27;
+constexpr uint16_t FinishCall = 28;
+constexpr uint16_t ReadFrame = 29; //!< read next frame longword (RET)
+constexpr uint16_t FinishRet = 30;
+
+// Subroutine linkage.
+constexpr uint16_t PopPc = 35;
+constexpr uint16_t SetTarget = 36;
+
+// Change-mode / REI.
+constexpr uint16_t PushPsl = 40;
+constexpr uint16_t PushCode = 41;
+constexpr uint16_t ReadVector = 42;
+constexpr uint16_t EnterKernel = 43;
+constexpr uint16_t PopPsl = 44;
+constexpr uint16_t RestorePsl = 45;
+
+// Context switch.
+constexpr uint16_t FinishSave = 50;
+constexpr uint16_t FinishLoad = 51;
+
+// Case branch.
+constexpr uint16_t CaseRead = 60;
+constexpr uint16_t CaseTarget = 61;
+constexpr uint16_t CaseFall = 62;
+
+// Bit field.
+constexpr uint16_t FieldRead = 70;  //!< read longword(s) holding field
+constexpr uint16_t FieldRead2 = 71; //!< second longword if spanning
+constexpr uint16_t FieldOp = 72;    //!< extract / insert / find
+constexpr uint16_t FieldWrite = 73; //!< write back modified longword
+constexpr uint16_t FieldWrite2 = 74;
+constexpr uint16_t BbRead = 75;     //!< read byte holding branch bit
+constexpr uint16_t BbWrite = 76;    //!< write byte for BBxS/BBxC forms
+
+// Queue instructions.
+constexpr uint16_t QueRead = 80;
+constexpr uint16_t QueWrite = 81;
+constexpr uint16_t QueFinish = 82;
+
+// POLY evaluation loop.
+constexpr uint16_t PolyRead = 85;
+constexpr uint16_t PolyStep = 86;
+
+} // namespace upc780::ucode::phase
+
+#endif // UPC780_UCODE_EXECPHASE_HH

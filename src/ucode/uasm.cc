@@ -1,0 +1,60 @@
+#include "ucode/uasm.hh"
+
+#include "common/logging.hh"
+
+namespace upc780::ucode
+{
+
+MicroAssembler::MicroAssembler(MicrocodeImage &image)
+    : img_(image), next_(1)  // address 0 is reserved as "invalid"
+{
+}
+
+UAddr
+MicroAssembler::here() const
+{
+    return static_cast<UAddr>(next_);
+}
+
+UAddr
+MicroAssembler::emit(const MicroOp &op)
+{
+    if (next_ >= ControlStoreSize)
+        panic("control store overflow (%u words)", next_);
+    UAddr a = static_cast<UAddr>(next_++);
+    img_.ops[a] = op;
+    img_.info[a].row = row_;
+    img_.allocated = next_;
+    return a;
+}
+
+void
+MicroAssembler::pad(uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        emit(uop(Dp::Nop));
+}
+
+UAddr
+MicroAssembler::reserve()
+{
+    return emit(uop(Dp::Nop));
+}
+
+void
+MicroAssembler::patch(UAddr a, const MicroOp &op)
+{
+    if (a == 0 || a >= next_)
+        panic("patch of unallocated micro-address %u", a);
+    img_.ops[a] = op;
+}
+
+void
+MicroAssembler::patchTarget(UAddr a, UAddr target)
+{
+    if (a == 0 || a >= next_)
+        panic("patchTarget of unallocated micro-address %u", a);
+    img_.ops[a].target = target;
+}
+
+} // namespace upc780::ucode

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Microassembler: a small builder used by microprogram.cc to lay out
+ * routines in the control store, assign each word its Table 8 activity
+ * row, and register analyzer annotations.
+ */
+
+#ifndef UPC780_UCODE_UASM_HH
+#define UPC780_UCODE_UASM_HH
+
+#include "ucode/controlstore.hh"
+#include "ucode/uop.hh"
+
+namespace upc780::ucode
+{
+
+/** Convenience constructor for a control word. */
+inline MicroOp
+uop(Dp dp, Mem mem = Mem::None, Ib ib = Ib::None, Seq seq = Seq::Next,
+    UAddr target = 0, uint16_t arg = 0)
+{
+    return MicroOp{dp, mem, ib, seq, target, arg};
+}
+
+/** Builder over a MicrocodeImage. */
+class MicroAssembler
+{
+  public:
+    explicit MicroAssembler(MicrocodeImage &image);
+
+    /** Set the activity row assigned to subsequently emitted words. */
+    void row(Row r) { row_ = r; }
+
+    Row currentRow() const { return row_; }
+
+    /** Address the next emitted word will occupy. */
+    UAddr here() const;
+
+    /** Emit one word; returns its address. */
+    UAddr emit(const MicroOp &op);
+
+    /** Emit @p n Nop/Next padding words (extra compute cycles). */
+    void pad(uint32_t n);
+
+    /** Reserve a word to patch later (forward references). */
+    UAddr reserve();
+
+    /** Patch a previously reserved or emitted word. */
+    void patch(UAddr a, const MicroOp &op);
+
+    /** Patch only the branch target of an existing word. */
+    void patchTarget(UAddr a, UAddr target);
+
+    MicrocodeImage &image() { return img_; }
+
+  private:
+    MicrocodeImage &img_;
+    uint32_t next_;
+    Row row_ = Row::None;
+};
+
+} // namespace upc780::ucode
+
+#endif // UPC780_UCODE_UASM_HH

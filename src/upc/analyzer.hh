@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Offline interpretation of a UPC histogram against the static control
+ * store map — the paper's data-reduction step. Every quantity in the
+ * paper's Tables 1-9 (except the few the paper itself imported from
+ * the separate cache study [2]) is derived here from nothing but the
+ * two per-bucket counters and static knowledge of the microcode.
+ */
+
+#ifndef UPC780_UPC_ANALYZER_HH
+#define UPC780_UPC_ANALYZER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/opcodes.hh"
+#include "arch/specifier.hh"
+#include "ucode/controlstore.hh"
+#include "upc/histogram.hh"
+
+namespace upc780::upc
+{
+
+using arch::Group;
+using arch::PcClass;
+using arch::SpecClass;
+using ucode::Row;
+
+/** Table 8 columns. */
+enum class Col : uint8_t
+{
+    Compute,
+    Read,
+    RStall,
+    Write,
+    WStall,
+    IbStall,
+    NumCols,
+};
+
+std::string_view colName(Col c);
+
+/** The Table 8 matrix in cycles per average instruction. */
+struct TimingMatrix
+{
+    double cell[size_t(Row::NumRows)][size_t(Col::NumCols)] = {};
+
+    double
+    rowTotal(Row r) const
+    {
+        double t = 0;
+        for (size_t c = 0; c < size_t(Col::NumCols); ++c)
+            t += cell[size_t(r)][c];
+        return t;
+    }
+
+    double
+    colTotal(Col c) const
+    {
+        double t = 0;
+        for (size_t r = 0; r < size_t(Row::NumRows); ++r)
+            t += cell[r][size_t(c)];
+        return t;
+    }
+
+    double
+    total() const
+    {
+        double t = 0;
+        for (size_t c = 0; c < size_t(Col::NumCols); ++c)
+            t += colTotal(static_cast<Col>(c));
+        return t;
+    }
+};
+
+/** Table 2 row. */
+struct PcClassStats
+{
+    uint64_t executed = 0;  //!< instruction executions in this class
+    uint64_t taken = 0;     //!< of which actually changed the PC
+};
+
+/** Table 4 data. */
+struct SpecifierDist
+{
+    // Counts by [first?1:0][class]; indexed counted separately.
+    uint64_t byClass[2][size_t(SpecClass::NumClasses)] = {};
+    uint64_t indexed[2] = {};  //!< indexed specifiers by position
+    uint64_t total[2] = {};    //!< all specifiers by position
+
+    uint64_t
+    classTotal(SpecClass c) const
+    {
+        return byClass[0][size_t(c)] + byClass[1][size_t(c)];
+    }
+};
+
+/** Table 5 row: D-stream references per average instruction. */
+struct RefRow
+{
+    double reads = 0;
+    double writes = 0;
+};
+
+/** §4.2 translation buffer measurements. */
+struct TbMissStats
+{
+    double missesPerInstr = 0;
+    double dMissesPerInstr = 0;
+    double iMissesPerInstr = 0;
+    double cyclesPerMiss = 0;       //!< avg service routine length
+    double stallCyclesPerMiss = 0;  //!< read stalls inside the routine
+};
+
+/** The analyzer proper. */
+class HistogramAnalyzer
+{
+  public:
+    HistogramAnalyzer(const Histogram &histogram,
+                      const ucode::MicrocodeImage &image);
+
+    // ----- global ---------------------------------------------------------
+    uint64_t instructions() const { return instructions_; }
+    uint64_t cycles() const { return hist_.totalCycles(); }
+    double cpi() const;
+
+    // ----- Table 1: opcode group frequency ---------------------------------
+    std::array<double, size_t(Group::NumGroups)>
+    opcodeGroupFrequency() const;
+
+    /** Instruction executions per group (absolute). */
+    std::array<uint64_t, size_t(Group::NumGroups)> groupCounts() const;
+
+    // ----- Table 2: PC-changing instructions --------------------------------
+    std::array<PcClassStats, size_t(PcClass::NumClasses)>
+    pcChanging() const;
+
+    // ----- Table 3: specifiers per instruction -------------------------------
+    double firstSpecsPerInstr() const;
+    double otherSpecsPerInstr() const;
+    double branchDispsPerInstr() const;
+
+    // ----- Table 4: specifier mode distribution ------------------------------
+    SpecifierDist specifierDist() const;
+
+    // ----- Table 5: reads/writes by activity ----------------------------------
+    /** Rows: Spec1, Spec26, each execute group, Other. */
+    RefRow refsFor(Row r) const;
+    RefRow refsTotal() const;
+
+    // ----- Table 6: estimated instruction size --------------------------------
+    /**
+     * Estimated average instruction length in bytes, computed the way
+     * the paper does (§3.3.2): opcode byte + measured specifier count
+     * x estimated specifier size + branch displacement bytes.
+     */
+    double estimatedInstrBytes() const;
+    double estimatedSpecifierBytes() const;
+
+    // ----- Table 7: headways ----------------------------------------------------
+    double interruptHeadway() const;      //!< instr per dispatched intr
+    double contextSwitchHeadway() const;  //!< instr per LDPCTX
+
+    // ----- Table 8: the timing matrix --------------------------------------------
+    TimingMatrix timingMatrix() const;
+
+    // ----- Table 9: per-group cycles (unweighted) ----------------------------------
+    /** Execute-phase cycles per instruction *of that group*, by column. */
+    std::array<double, size_t(Col::NumCols)> groupCycles(Group g) const;
+
+    // ----- §4.2 TB misses --------------------------------------------------------------
+    TbMissStats tbMisses() const;
+
+  private:
+    /** Column of the execution counts at @p a. */
+    Col countColumn(ucode::UAddr a) const;
+
+    const Histogram &hist_;
+    const ucode::MicrocodeImage &img_;
+    uint64_t instructions_;
+};
+
+} // namespace upc780::upc
+
+#endif // UPC780_UPC_ANALYZER_HH

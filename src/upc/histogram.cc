@@ -1,0 +1,81 @@
+#include "upc/histogram.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace upc780::upc
+{
+
+uint64_t
+Histogram::totalCounts() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : counts_)
+        t += c;
+    return t;
+}
+
+uint64_t
+Histogram::totalStalls() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : stalls_)
+        t += c;
+    return t;
+}
+
+void
+Histogram::accumulate(const Histogram &other)
+{
+    for (uint32_t i = 0; i < NumBuckets; ++i) {
+        counts_[i] += other.counts_[i];
+        stalls_[i] += other.stalls_[i];
+    }
+}
+
+bool
+Histogram::saveTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "upc780-histogram v1\n");
+    for (uint32_t a = 0; a < NumBuckets; ++a) {
+        if (counts_[a] || stalls_[a]) {
+            std::fprintf(f, "%u %" PRIu64 " %" PRIu64 "\n", a,
+                         counts_[a], stalls_[a]);
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+Histogram::loadFrom(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char magic[64];
+    if (!std::fgets(magic, sizeof(magic), f) ||
+        std::string(magic).rfind("upc780-histogram", 0) != 0) {
+        std::fclose(f);
+        return false;
+    }
+    clear();
+    uint32_t addr = 0;
+    uint64_t count = 0, stall = 0;
+    while (std::fscanf(f, "%u %" SCNu64 " %" SCNu64, &addr, &count,
+                       &stall) == 3) {
+        if (addr >= NumBuckets) {
+            std::fclose(f);
+            return false;
+        }
+        counts_[addr] = count;
+        stalls_[addr] = stall;
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace upc780::upc

@@ -1,0 +1,28 @@
+#include "upc/monitor.hh"
+
+namespace upc780::upc
+{
+
+void
+UpcMonitor::writeCsr(uint16_t v)
+{
+    if (v & static_cast<uint16_t>(Csr::Clear))
+        clear();
+    running_ = v & static_cast<uint16_t>(Csr::Go);
+}
+
+uint16_t
+UpcMonitor::readCsr() const
+{
+    return running_ ? static_cast<uint16_t>(Csr::Go) : 0;
+}
+
+uint64_t
+UpcMonitor::readDataPort(bool stall_bank) const
+{
+    ucode::UAddr a = static_cast<ucode::UAddr>(
+        addrPort_ % Histogram::NumBuckets);
+    return stall_bank ? histogram_.stall(a) : histogram_.count(a);
+}
+
+} // namespace upc780::upc

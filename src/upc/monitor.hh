@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The micro-PC histogram monitor (the paper's measurement instrument).
+ *
+ * The board attaches passively to the CPU's microsequencer: each
+ * machine cycle it observes the current control-store address and
+ * whether the EBOX is read/write-stalled, and increments the matching
+ * bucket counter. It is commanded over a Unibus-style register
+ * interface (start/stop/clear/read), and — as on the real machine —
+ * monitoring has no effect whatsoever on program execution
+ * (passivity is asserted by tests).
+ */
+
+#ifndef UPC780_UPC_MONITOR_HH
+#define UPC780_UPC_MONITOR_HH
+
+#include <cstdint>
+
+#include "cpu/vax780.hh"
+#include "upc/histogram.hh"
+
+namespace upc780::upc
+{
+
+/** The histogram count board plus its processor-specific interface. */
+class UpcMonitor : public cpu::CycleProbe
+{
+  public:
+    UpcMonitor() = default;
+
+    // ----- Unibus command interface ------------------------------------
+    /** Begin counting. */
+    void start() { running_ = true; }
+    /** Stop counting (data retained). */
+    void stop() { running_ = false; }
+    /** Clear all buckets. */
+    void clear() { histogram_.clear(); }
+
+    bool running() const { return running_; }
+
+    /** Read out the histogram memory. */
+    const Histogram &histogram() const { return histogram_; }
+
+    /** Cycles observed while running. */
+    uint64_t observedCycles() const { return observed_; }
+
+    // ----- passive probe -------------------------------------------------
+    void
+    cycle(ucode::UAddr upc, bool stalled) override
+    {
+        if (!running_)
+            return;
+        ++observed_;
+        if (stalled)
+            histogram_.bumpStall(upc);
+        else
+            histogram_.bumpCount(upc);
+    }
+
+    // ----- Unibus register-level facade -----------------------------------
+    // The board was programmed with a CSR and a data port; this mirrors
+    // that interface for completeness (used by the quickstart example
+    // and the monitor unit tests).
+    enum class Csr : uint16_t
+    {
+        Go = 1 << 0,     //!< set: counting enabled
+        Clear = 1 << 1,  //!< write 1: clear buckets (self-resetting)
+    };
+
+    void writeCsr(uint16_t v);
+    uint16_t readCsr() const;
+
+    /** Select the bucket addressed by the data port. */
+    void writeAddressPort(uint16_t bucket) { addrPort_ = bucket; }
+
+    /** Read the selected bucket (lo longword = count, hi = stalls). */
+    uint64_t readDataPort(bool stall_bank) const;
+
+  private:
+    Histogram histogram_;
+    bool running_ = false;
+    uint64_t observed_ = 0;
+    uint16_t addrPort_ = 0;
+};
+
+} // namespace upc780::upc
+
+#endif // UPC780_UPC_MONITOR_HH

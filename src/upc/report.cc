@@ -1,0 +1,332 @@
+#include "upc/report.hh"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "arch/opcodes.hh"
+#include "common/table.hh"
+#include "ucode/controlstore.hh"
+
+namespace upc780::upc
+{
+
+namespace
+{
+
+std::string
+num(double v, int prec = 3)
+{
+    return TextTable::num(v, prec);
+}
+
+/** Minimal markdown table emitter. */
+class MdTable
+{
+  public:
+    explicit MdTable(std::ostringstream &os) : os_(os) {}
+
+    void
+    header(const std::vector<std::string> &cells)
+    {
+        emit(cells);
+        os_ << "|";
+        for (size_t i = 0; i < cells.size(); ++i)
+            os_ << "---|";
+        os_ << "\n";
+    }
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        emit(cells);
+    }
+
+  private:
+    void
+    emit(const std::vector<std::string> &cells)
+    {
+        os_ << "|";
+        for (const auto &c : cells)
+            os_ << " " << c << " |";
+        os_ << "\n";
+    }
+
+    std::ostringstream &os_;
+};
+
+/** Dispatches rows to either a TextTable or a markdown table. */
+class Sink
+{
+  public:
+    Sink(std::ostringstream &os, bool markdown, std::string title)
+        : os_(os), markdown_(markdown), title_(std::move(title))
+    {
+    }
+
+    void
+    header(std::vector<std::string> cells)
+    {
+        if (markdown_) {
+            os_ << "\n### " << title_ << "\n\n";
+            md_ = std::make_unique<MdTable>(os_);
+            md_->header(cells);
+        } else {
+            text_ = std::make_unique<TextTable>(title_);
+            text_->header(std::move(cells));
+        }
+    }
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        if (markdown_)
+            md_->row(cells);
+        else
+            text_->row(std::move(cells));
+    }
+
+    void
+    finish()
+    {
+        if (!markdown_ && text_)
+            os_ << "\n" << text_->str();
+    }
+
+  private:
+    std::ostringstream &os_;
+    bool markdown_;
+    std::string title_;
+    std::unique_ptr<TextTable> text_;
+    std::unique_ptr<MdTable> md_;
+};
+
+} // namespace
+
+std::string
+writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
+            const ReportOptions &opt)
+{
+    std::ostringstream os;
+    double instr = static_cast<double>(an.instructions());
+    if (instr == 0)
+        return "(empty measurement)\n";
+
+    os << (opt.markdown ? "# " : "") << opt.title << "\n";
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu instructions, %llu cycles, %.3f cycles "
+                      "per average instruction (%.2f us at 200 ns)\n",
+                      static_cast<unsigned long long>(
+                          an.instructions()),
+                      static_cast<unsigned long long>(an.cycles()),
+                      an.cpi(), an.cpi() * 0.2);
+        os << buf;
+    }
+
+    // ----- Table 1 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown, "Table 1: Opcode group frequency");
+        t.header({"Group", "Percent"});
+        auto f = an.opcodeGroupFrequency();
+        for (size_t g = 0; g < size_t(arch::Group::NumGroups); ++g) {
+            t.row({std::string(arch::groupName(
+                       static_cast<arch::Group>(g))),
+                   num(f[g], 2)});
+        }
+        t.finish();
+    }
+
+    // ----- Table 2 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown, "Table 2: PC-changing instructions");
+        t.header({"Class", "% of all", "% taken", "taken % of all"});
+        auto rows = an.pcChanging();
+        double tot = 0, taken = 0;
+        for (size_t c = 1; c < size_t(arch::PcClass::NumClasses); ++c) {
+            const auto &r = rows[c];
+            if (!r.executed)
+                continue;
+            tot += static_cast<double>(r.executed);
+            taken += static_cast<double>(r.taken);
+            t.row({std::string(arch::pcClassName(
+                       static_cast<arch::PcClass>(c))),
+                   num(100.0 * r.executed / instr, 1),
+                   num(100.0 * r.taken / r.executed, 0),
+                   num(100.0 * r.taken / instr, 1)});
+        }
+        t.row({"TOTAL", num(100.0 * tot / instr, 1),
+               num(tot ? 100.0 * taken / tot : 0, 0),
+               num(100.0 * taken / instr, 1)});
+        t.finish();
+    }
+
+    // ----- Table 3 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 3: Specifiers per average instruction");
+        t.header({"Object", "Per instruction"});
+        t.row({"First specifiers", num(an.firstSpecsPerInstr())});
+        t.row({"Other specifiers", num(an.otherSpecsPerInstr())});
+        t.row({"Branch displacements", num(an.branchDispsPerInstr())});
+        t.finish();
+    }
+
+    // ----- Table 4 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 4: Operand specifier distribution (percent)");
+        t.header({"Mode", "SPEC1", "SPEC2-6", "Total"});
+        auto d = an.specifierDist();
+        double t1 = static_cast<double>(d.total[1]);
+        double t0 = static_cast<double>(d.total[0]);
+        for (size_t c = 0; c < size_t(arch::SpecClass::NumClasses);
+             ++c) {
+            auto cls = static_cast<arch::SpecClass>(c);
+            t.row({std::string(arch::specClassName(cls)),
+                   num(t1 ? 100.0 * d.byClass[1][c] / t1 : 0, 1),
+                   num(t0 ? 100.0 * d.byClass[0][c] / t0 : 0, 1),
+                   num(t1 + t0 ? 100.0 * d.classTotal(cls) / (t1 + t0)
+                               : 0,
+                       1)});
+        }
+        t.row({"Percent indexed",
+               num(t1 ? 100.0 * d.indexed[1] / t1 : 0, 1),
+               num(t0 ? 100.0 * d.indexed[0] / t0 : 0, 1),
+               num(t1 + t0 ? 100.0 * (d.indexed[0] + d.indexed[1]) /
+                                 (t1 + t0)
+                           : 0,
+                   1)});
+        t.finish();
+    }
+
+    // ----- Table 5 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 5: D-stream reads and writes per instruction");
+        t.header({"Source", "Reads", "Writes"});
+        using ucode::Row;
+        static const std::pair<const char *, Row> rows[] = {
+            {"Spec1", Row::Spec1},        {"Spec2-6", Row::Spec26},
+            {"Simple", Row::ExSimple},    {"Field", Row::ExField},
+            {"Float", Row::ExFloat},      {"Call/Ret", Row::ExCallRet},
+            {"System", Row::ExSystem},    {"Character",
+                                           Row::ExCharacter},
+            {"Decimal", Row::ExDecimal},  {"Mem Mgmt", Row::MemMgmt},
+            {"Int/Except", Row::IntExcept},
+        };
+        for (const auto &[name, row] : rows) {
+            auto rr = an.refsFor(row);
+            t.row({name, num(rr.reads), num(rr.writes)});
+        }
+        auto tot = an.refsTotal();
+        t.row({"TOTAL", num(tot.reads), num(tot.writes)});
+        t.finish();
+    }
+
+    // ----- Table 6 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 6: Estimated size of average instruction");
+        t.header({"Quantity", "Value"});
+        t.row({"Estimated specifier size (bytes)",
+               num(an.estimatedSpecifierBytes(), 2)});
+        t.row({"Estimated instruction size (bytes)",
+               num(an.estimatedInstrBytes(), 2)});
+        if (hw.ibFills) {
+            t.row({"IB references per instruction (hw)",
+                   num(hw.ibFills / instr, 2)});
+        }
+        t.finish();
+    }
+
+    // ----- Table 7 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 7: Interrupt and context-switch headway");
+        t.header({"Event", "Instruction headway"});
+        if (hw.softIntRequests) {
+            t.row({"Software interrupt requests",
+                   num(instr / hw.softIntRequests, 0)});
+        }
+        t.row({"Hardware and software interrupts",
+               num(an.interruptHeadway(), 0)});
+        t.row({"Context switches", num(an.contextSwitchHeadway(), 0)});
+        t.finish();
+    }
+
+    // ----- Table 8 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 8: Average instruction timing (cycles)");
+        t.header({"Activity", "Compute", "Read", "R-Stall", "Write",
+                  "W-Stall", "IB-Stall", "Total"});
+        auto m = an.timingMatrix();
+        using ucode::Row;
+        for (size_t r = 1; r < size_t(Row::NumRows); ++r) {
+            Row row = static_cast<Row>(r);
+            const auto &c = m.cell[r];
+            t.row({std::string(ucode::rowName(row)),
+                   num(c[size_t(Col::Compute)]), num(c[size_t(Col::Read)]),
+                   num(c[size_t(Col::RStall)]), num(c[size_t(Col::Write)]),
+                   num(c[size_t(Col::WStall)]),
+                   num(c[size_t(Col::IbStall)]), num(m.rowTotal(row))});
+        }
+        t.row({"TOTAL", num(m.colTotal(Col::Compute)),
+               num(m.colTotal(Col::Read)), num(m.colTotal(Col::RStall)),
+               num(m.colTotal(Col::Write)), num(m.colTotal(Col::WStall)),
+               num(m.colTotal(Col::IbStall)), num(m.total())});
+        t.finish();
+    }
+
+    // ----- Table 9 --------------------------------------------------------
+    {
+        Sink t(os, opt.markdown,
+               "Table 9: Cycles per instruction within each group");
+        t.header({"Group", "Compute", "Read", "R-Stall", "Write",
+                  "W-Stall", "Total"});
+        for (size_t g = 0; g < size_t(arch::Group::NumGroups); ++g) {
+            auto gg = static_cast<arch::Group>(g);
+            auto c = an.groupCycles(gg);
+            double total = 0;
+            for (double v : c)
+                total += v;
+            t.row({std::string(arch::groupName(gg)),
+                   num(c[size_t(Col::Compute)], 2),
+                   num(c[size_t(Col::Read)], 2),
+                   num(c[size_t(Col::RStall)], 2),
+                   num(c[size_t(Col::Write)], 2),
+                   num(c[size_t(Col::WStall)], 2), num(total, 2)});
+        }
+        t.finish();
+    }
+
+    // ----- Implementation events -------------------------------------------
+    {
+        Sink t(os, opt.markdown, "Implementation events");
+        t.header({"Event", "Per instruction"});
+        auto tb = an.tbMisses();
+        t.row({"TB misses", num(tb.missesPerInstr, 4)});
+        t.row({"TB misses (D-stream)", num(tb.dMissesPerInstr, 4)});
+        t.row({"TB misses (I-stream)", num(tb.iMissesPerInstr, 4)});
+        t.row({"TB service cycles per miss", num(tb.cyclesPerMiss, 1)});
+        t.row({"TB service stall cycles", num(tb.stallCyclesPerMiss, 1)});
+        if (hw.ibFills)
+            t.row({"IB references (hw)", num(hw.ibFills / instr, 2)});
+        if (hw.iReadMisses)
+            t.row({"Cache I-miss (hw)", num(hw.iReadMisses / instr, 3)});
+        if (hw.dReadMisses)
+            t.row({"Cache D-miss (hw)", num(hw.dReadMisses / instr, 3)});
+        if (hw.unalignedRefs)
+            t.row({"Unaligned refs (hw)",
+                   num(hw.unalignedRefs / instr, 4)});
+        t.finish();
+    }
+
+    os << "\n";
+    return os.str();
+}
+
+} // namespace upc780::upc

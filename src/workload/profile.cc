@@ -1,0 +1,140 @@
+#include "workload/profile.hh"
+
+namespace upc780::wkl
+{
+
+WorkloadProfile
+timesharing1Profile()
+{
+    WorkloadProfile p;
+    p.name = "timesharing-1 (research group, ~15 users)";
+    p.users = 15;
+    p.weights.intLoop = 1.2;
+    p.weights.dataMove = 1.4;
+    p.weights.branchy = 2.160;
+    p.weights.callTree = 4.095;
+    p.weights.subrCalls = 1.664;
+    p.weights.stringOps = 1.404;
+    p.weights.floatKernel = 0.274;
+    p.weights.intMulDiv = 0.187;
+    p.weights.fieldOps = 0.958;
+    p.weights.bitBranches = 0.620;
+    p.weights.caseDispatch = 2.400;
+    p.weights.queueOps = 0.720;
+    p.weights.sysWrite = 1.451;
+    p.dataPages = 104;
+    p.thinkMeanCycles = 73920;
+    p.seed = 0x1111;
+    return p;
+}
+
+WorkloadProfile
+timesharing2Profile()
+{
+    WorkloadProfile p;
+    p.name = "timesharing-2 (CPU development, ~30 users)";
+    p.users = 30;
+    p.weights.intLoop = 1.3;
+    p.weights.dataMove = 1.3;
+    p.weights.branchy = 2.340;
+    p.weights.callTree = 4.095;
+    p.weights.subrCalls = 1.872;
+    p.weights.stringOps = 1.170;
+    p.weights.floatKernel = 0.993;  // circuit simulation
+    p.weights.intMulDiv = 0.234;
+    p.weights.fieldOps = 1.151;      // microcode development tools
+    p.weights.bitBranches = 0.725;
+    p.weights.caseDispatch = 2.400;
+    p.weights.queueOps = 0.864;
+    p.weights.sysWrite = 1.210;
+    p.dataPages = 128;
+    p.thinkMeanCycles = 50400;
+    p.seed = 0x2222;
+    return p;
+}
+
+WorkloadProfile
+educationalProfile()
+{
+    WorkloadProfile p;
+    p.name = "RTE educational (40 users, program development)";
+    p.users = 40;
+    p.weights.intLoop = 1.2;
+    p.weights.dataMove = 1.4;
+    p.weights.branchy = 2.520;
+    p.weights.callTree = 4.684;
+    p.weights.subrCalls = 1.872;
+    p.weights.stringOps = 1.873;  // editing and file manipulation
+    p.weights.floatKernel = 0.220;
+    p.weights.intMulDiv = 0.156;
+    p.weights.fieldOps = 0.842;
+    p.weights.bitBranches = 0.580;
+    p.weights.caseDispatch = 2.800;
+    p.weights.queueOps = 0.720;
+    p.weights.sysWrite = 1.693;
+    p.dataPages = 96;
+    p.thinkMeanCycles = 60479;
+    p.seed = 0x3333;
+    return p;
+}
+
+WorkloadProfile
+scientificProfile()
+{
+    WorkloadProfile p;
+    p.name = "RTE scientific/engineering (40 users)";
+    p.users = 40;
+    p.weights.intLoop = 1.3;
+    p.weights.dataMove = 1.2;
+    p.weights.branchy = 1.980;
+    p.weights.callTree = 4.095;
+    p.weights.subrCalls = 1.456;
+    p.weights.stringOps = 0.936;
+    p.weights.floatKernel = 1.927;  // scientific computation
+    p.weights.intMulDiv = 0.312;
+    p.weights.fieldOps = 0.691;
+    p.weights.bitBranches = 0.414;
+    p.weights.caseDispatch = 1.600;
+    p.weights.queueOps = 0.576;
+    p.weights.sysWrite = 0.968;
+    p.dataPages = 144;
+    p.thinkMeanCycles = 53760;
+    p.seed = 0x4444;
+    return p;
+}
+
+WorkloadProfile
+commercialProfile()
+{
+    WorkloadProfile p;
+    p.name = "RTE commercial transaction processing (32 users)";
+    p.users = 32;
+    p.weights.intLoop = 1.1;
+    p.weights.dataMove = 1.4;
+    p.weights.branchy = 2.340;
+    p.weights.callTree = 4.684;
+    p.weights.subrCalls = 1.664;
+    p.weights.stringOps = 2.340;   // record handling
+    p.weights.floatKernel = 0.110;
+    p.weights.intMulDiv = 0.156;
+    p.weights.fieldOps = 0.842;
+    p.weights.bitBranches = 0.538;
+    p.weights.caseDispatch = 2.800;
+    p.weights.decimalOps = 0.972;  // currency arithmetic
+    p.weights.queueOps = 1.440;      // database work queues
+    p.weights.sysWrite = 1.934;     // transactional inquiries
+    p.dataPages = 120;
+    p.thinkMeanCycles = 40320;
+    p.seed = 0x5555;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+paperWorkloads()
+{
+    return {timesharing1Profile(), timesharing2Profile(),
+            educationalProfile(), scientificProfile(),
+            commercialProfile()};
+}
+
+} // namespace upc780::wkl

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Architecture-layer tests: the opcode table, specifier encode/decode
+ * round trips (property-based over all addressing modes), assembler
+ * label fixups, and the whole-instruction decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/assembler.hh"
+#include "arch/decoder.hh"
+#include "arch/opcodes.hh"
+#include "arch/specifier.hh"
+#include "common/random.hh"
+
+using namespace upc780;
+using namespace upc780::arch;
+
+// ---------------------------------------------------------------------------
+// Opcode table
+// ---------------------------------------------------------------------------
+
+TEST(Opcodes, KnownEncodings)
+{
+    EXPECT_EQ(opcodeInfo(Op::MOVL).mnemonic, "movl");
+    EXPECT_EQ(static_cast<uint8_t>(Op::MOVL), 0xD0);
+    EXPECT_EQ(static_cast<uint8_t>(Op::ADDL3), 0xC1);
+    EXPECT_EQ(static_cast<uint8_t>(Op::CALLS), 0xFB);
+    EXPECT_EQ(static_cast<uint8_t>(Op::RET), 0x04);
+    EXPECT_EQ(static_cast<uint8_t>(Op::BRB), 0x11);
+    EXPECT_EQ(static_cast<uint8_t>(Op::MOVC3), 0x28);
+}
+
+TEST(Opcodes, GroupAssignments)
+{
+    EXPECT_EQ(opcodeInfo(Op::MOVL).group, Group::Simple);
+    EXPECT_EQ(opcodeInfo(Op::EXTV).group, Group::Field);
+    EXPECT_EQ(opcodeInfo(Op::BBS).group, Group::Field);
+    EXPECT_EQ(opcodeInfo(Op::MULL3).group, Group::Float);  // int mul/div
+    EXPECT_EQ(opcodeInfo(Op::ADDF2).group, Group::Float);
+    EXPECT_EQ(opcodeInfo(Op::CALLS).group, Group::CallRet);
+    EXPECT_EQ(opcodeInfo(Op::PUSHR).group, Group::CallRet);
+    EXPECT_EQ(opcodeInfo(Op::CHMK).group, Group::System);
+    EXPECT_EQ(opcodeInfo(Op::INSQUE).group, Group::System);
+    EXPECT_EQ(opcodeInfo(Op::MOVC3).group, Group::Character);
+    EXPECT_EQ(opcodeInfo(Op::ADDP4).group, Group::Decimal);
+}
+
+TEST(Opcodes, PcClassAssignments)
+{
+    EXPECT_EQ(opcodeInfo(Op::BEQL).pcClass, PcClass::SimpleCond);
+    EXPECT_EQ(opcodeInfo(Op::BRB).pcClass, PcClass::SimpleCond);
+    EXPECT_EQ(opcodeInfo(Op::SOBGTR).pcClass, PcClass::Loop);
+    EXPECT_EQ(opcodeInfo(Op::ACBL).pcClass, PcClass::Loop);
+    EXPECT_EQ(opcodeInfo(Op::BLBS).pcClass, PcClass::LowBit);
+    EXPECT_EQ(opcodeInfo(Op::JSB).pcClass, PcClass::Subroutine);
+    EXPECT_EQ(opcodeInfo(Op::JMP).pcClass, PcClass::Uncond);
+    EXPECT_EQ(opcodeInfo(Op::CASEB).pcClass, PcClass::Case);
+    EXPECT_EQ(opcodeInfo(Op::BBSS).pcClass, PcClass::BitBranch);
+    EXPECT_EQ(opcodeInfo(Op::RET).pcClass, PcClass::Procedure);
+    EXPECT_EQ(opcodeInfo(Op::REI).pcClass, PcClass::SystemBr);
+    EXPECT_EQ(opcodeInfo(Op::MOVL).pcClass, PcClass::None);
+}
+
+TEST(Opcodes, OperandCounts)
+{
+    EXPECT_EQ(opcodeInfo(Op::HALT).numOperands, 0);
+    EXPECT_EQ(opcodeInfo(Op::MOVL).numOperands, 2);
+    EXPECT_EQ(opcodeInfo(Op::ADDL3).numOperands, 3);
+    EXPECT_EQ(opcodeInfo(Op::INDEX).numOperands, 6);
+    EXPECT_EQ(opcodeInfo(Op::MOVC5).numOperands, 5);
+    // Branch-format instructions include their displacement slot.
+    EXPECT_EQ(opcodeInfo(Op::BEQL).numOperands, 1);
+    EXPECT_EQ(opcodeInfo(Op::SOBGTR).numOperands, 2);
+}
+
+TEST(Opcodes, EveryDefinedOpcodeHasConsistentDescriptor)
+{
+    int valid = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+        const OpcodeInfo &info = opcodeInfo(static_cast<uint8_t>(b));
+        if (!info.valid())
+            continue;
+        ++valid;
+        EXPECT_LE(info.numOperands, 6) << "opcode " << b;
+        // At most one branch displacement, and only in the last slot.
+        for (unsigned i = 0; i < info.numOperands; ++i) {
+            if (isBranchDisp(info.operands[i].access)) {
+                EXPECT_EQ(i, info.numOperands - 1u) << "opcode " << b;
+            }
+        }
+    }
+    EXPECT_GT(valid, 150);  // the implemented subset is substantial
+}
+
+// ---------------------------------------------------------------------------
+// Specifier decode (property-based round trip via the assembler)
+// ---------------------------------------------------------------------------
+
+TEST(Specifier, ClassifyTable4Rows)
+{
+    EXPECT_EQ(classifySpec(AddrMode::Literal), SpecClass::ShortLiteral);
+    EXPECT_EQ(classifySpec(AddrMode::DispByte), SpecClass::Displacement);
+    EXPECT_EQ(classifySpec(AddrMode::DispLong), SpecClass::Displacement);
+    EXPECT_EQ(classifySpec(AddrMode::DispWordDeferred),
+              SpecClass::DispDeferred);
+    EXPECT_EQ(classifySpec(AddrMode::Immediate), SpecClass::Immediate);
+}
+
+TEST(Specifier, MemoryReferenceClassification)
+{
+    EXPECT_FALSE(specReferencesMemory(AddrMode::Literal));
+    EXPECT_FALSE(specReferencesMemory(AddrMode::Register));
+    EXPECT_FALSE(specReferencesMemory(AddrMode::Immediate));
+    EXPECT_TRUE(specReferencesMemory(AddrMode::RegDeferred));
+    EXPECT_TRUE(specReferencesMemory(AddrMode::Absolute));
+    EXPECT_TRUE(specReferencesMemory(AddrMode::DispByte));
+}
+
+struct SpecCase
+{
+    Operand operand;
+    AddrMode expectMode;
+    uint8_t expectReg;
+    int32_t expectDisp;
+};
+
+class SpecifierRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpecifierRoundTrip, EncodeDecode)
+{
+    // Use the assembler to encode MOVL <spec>, r0 and decode spec 0.
+    Rng rng(GetParam() * 1234567ull + 1);
+    for (int iter = 0; iter < 50; ++iter) {
+        unsigned rn = rng.below(12);
+        int32_t disp = static_cast<int32_t>(rng.range(-30000, 30000));
+        unsigned kind = rng.below(8);
+        Operand o = Operand::reg(rn);
+        AddrMode want = AddrMode::Register;
+        switch (kind) {
+          case 0:
+            o = Operand::lit(static_cast<uint8_t>(rng.below(64)));
+            want = AddrMode::Literal;
+            break;
+          case 1:
+            o = Operand::reg(rn);
+            want = AddrMode::Register;
+            break;
+          case 2:
+            o = Operand::regDef(rn);
+            want = AddrMode::RegDeferred;
+            break;
+          case 3:
+            o = Operand::autoInc(rn);
+            want = AddrMode::AutoIncr;
+            break;
+          case 4:
+            o = Operand::autoDec(rn);
+            want = AddrMode::AutoDecr;
+            break;
+          case 5:
+            o = Operand::disp(disp, rn);
+            want = disp >= -128 && disp <= 127 ? AddrMode::DispByte
+                                               : AddrMode::DispWord;
+            break;
+          case 6:
+            o = Operand::abs(static_cast<uint32_t>(rng.below(1 << 30)));
+            want = AddrMode::Absolute;
+            break;
+          default:
+            o = Operand::imm(rng.below(1u << 31));
+            want = AddrMode::Immediate;
+            break;
+        }
+
+        Assembler a(0);
+        a.emit(Op::MOVL, {o, Operand::reg(0)});
+        const auto &bytes = a.finish();
+
+        DecodedInst di;
+        uint32_t n = decodeInstruction(
+            {bytes.data(), bytes.size()}, di);
+        ASSERT_GT(n, 0u);
+        ASSERT_EQ(di.numSpecs, 2);
+        EXPECT_EQ(di.specs[0].mode, want);
+        if (want == AddrMode::DispByte || want == AddrMode::DispWord) {
+            EXPECT_EQ(di.specs[0].disp, disp);
+        }
+        if (want == AddrMode::RegDeferred || want == AddrMode::AutoIncr ||
+            want == AddrMode::AutoDecr) {
+            EXPECT_EQ(di.specs[0].reg, rn);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecifierRoundTrip,
+                         ::testing::Range(0, 8));
+
+TEST(Specifier, IndexedDecode)
+{
+    Assembler a(0);
+    a.emit(Op::MOVL,
+           {Operand::disp(12, 3).indexed(5), Operand::reg(0)});
+    const auto &bytes = a.finish();
+    DecodedInst di;
+    ASSERT_GT(decodeInstruction({bytes.data(), bytes.size()}, di), 0u);
+    EXPECT_TRUE(di.specs[0].indexed);
+    EXPECT_EQ(di.specs[0].indexReg, 5);
+    EXPECT_EQ(di.specs[0].mode, AddrMode::DispByte);
+    EXPECT_EQ(di.specs[0].disp, 12);
+}
+
+TEST(Specifier, IllegalIndexedBaseRejected)
+{
+    // An index prefix on a literal is an invalid encoding.
+    uint8_t bytes[] = {0x45, 0x12};  // [r5] then literal 0x12
+    DecodedSpecifier s;
+    EXPECT_EQ(decodeSpecifier({bytes, 2}, DataType::Long, s), 0u);
+}
+
+TEST(Specifier, TruncatedStreamRejected)
+{
+    uint8_t bytes[] = {0xC3};  // word displacement, missing bytes
+    DecodedSpecifier s;
+    EXPECT_EQ(decodeSpecifier({bytes, 1}, DataType::Long, s), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, BranchFixupForwardAndBack)
+{
+    Assembler a(0x100);
+    Label fwd = a.newLabel();
+    Label top = a.here();
+    a.emitBr(Op::BEQL, fwd);
+    a.emit(Op::INCL, {Operand::reg(0)});
+    a.bind(fwd);
+    a.emitBr(Op::BRB, top);
+    const auto &bytes = a.finish();
+    // BEQL disp = +2 (skip INCL's 2 bytes).
+    EXPECT_EQ(bytes[1], 2);
+    // BRB disp = -(whole program) : back to 0x100.
+    EXPECT_EQ(static_cast<int8_t>(bytes.back()),
+              -static_cast<int8_t>(bytes.size()));
+}
+
+TEST(Assembler, CaseTableDisplacements)
+{
+    Assembler a(0x200);
+    std::vector<Label> arms{a.newLabel(), a.newLabel()};
+    a.emitCase(Op::CASEB,
+               {Operand::reg(0), Operand::lit(0), Operand::lit(1)},
+               arms);
+    a.bind(arms[0]);
+    a.emit(Op::NOP, {});
+    a.bind(arms[1]);
+    a.emit(Op::HALT, {});
+    const auto &bytes = a.finish();
+    // Table starts after opcode + 3 register/literal specifiers.
+    size_t table = 4;
+    int16_t d0 = static_cast<int16_t>(bytes[table] |
+                                      (bytes[table + 1] << 8));
+    int16_t d1 = static_cast<int16_t>(bytes[table + 2] |
+                                      (bytes[table + 3] << 8));
+    // Displacements are relative to the table base.
+    EXPECT_EQ(d0, 4);      // arm0 right after the 2-entry table
+    EXPECT_EQ(d1, 5);      // arm1 one NOP later
+}
+
+TEST(Assembler, PcRelativeOperand)
+{
+    Assembler a(0x300);
+    Label data = a.newLabel();
+    a.emit(Op::MOVL, {Operand::rel(data), Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    a.bind(data);
+    a.dl(0xCAFEF00D);
+    const auto &bytes = a.finish();
+    DecodedInst di;
+    ASSERT_GT(decodeInstruction({bytes.data(), bytes.size()}, di), 0u);
+    EXPECT_EQ(di.specs[0].mode, AddrMode::DispWord);
+    EXPECT_EQ(di.specs[0].reg, reg::PC);
+    // PC after the displacement field is 0x304; the data longword
+    // sits after the destination specifier and the HALT at 0x306.
+    EXPECT_EQ(di.specs[0].disp, 2);
+}
+
+TEST(Assembler, DataDirectivesAndAlign)
+{
+    Assembler a(0);
+    a.db(0x11);
+    a.align(4);
+    EXPECT_EQ(a.pc(), 4u);
+    a.dw(0x2233);
+    a.dl(0x44556677);
+    a.dq(0x8899AABBCCDDEEFFull);
+    const auto &bytes = a.finish();
+    EXPECT_EQ(bytes.size(), 18u);
+    EXPECT_EQ(bytes[4], 0x33);
+    EXPECT_EQ(bytes[5], 0x22);
+    EXPECT_EQ(bytes[6], 0x77);
+}
+
+TEST(Assembler, OperandCountMismatchFatal)
+{
+    Assembler a(0);
+    EXPECT_EXIT(a.emit(Op::MOVL, {Operand::reg(0)}),
+                ::testing::ExitedWithCode(1), "expects");
+}
+
+// ---------------------------------------------------------------------------
+// Whole-instruction decoder / disassembler
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, LengthsMatchEncodings)
+{
+    Assembler a(0);
+    a.emit(Op::MOVL, {Operand::lit(5), Operand::reg(2)});   // 3 bytes
+    a.emit(Op::ADDL3, {Operand::reg(0), Operand::disp(100, 1),
+                       Operand::reg(2)});                   // 1+1+2+1
+    a.emitBr(Op::BRW, a.here());                            // 3 bytes
+    const auto &bytes = a.finish();
+
+    DecodedInst di;
+    uint32_t n = decodeInstruction({bytes.data(), bytes.size()}, di);
+    EXPECT_EQ(n, 3u);
+    n = decodeInstruction({bytes.data() + 3, bytes.size() - 3}, di);
+    EXPECT_EQ(n, 5u);
+    n = decodeInstruction({bytes.data() + 8, bytes.size() - 8}, di);
+    EXPECT_EQ(n, 3u);
+    EXPECT_TRUE(di.hasBranchDisp);
+    EXPECT_EQ(di.branchDisp, -3);
+}
+
+TEST(Decoder, DisassemblyMentionsOperands)
+{
+    Assembler a(0);
+    a.emit(Op::ADDL3, {Operand::lit(7), Operand::regDef(3),
+                       Operand::reg(2)});
+    const auto &bytes = a.finish();
+    DecodedInst di;
+    ASSERT_GT(decodeInstruction({bytes.data(), bytes.size()}, di), 0u);
+    std::string s = di.str();
+    EXPECT_NE(s.find("addl3"), std::string::npos);
+    EXPECT_NE(s.find("S^#7"), std::string::npos);
+    EXPECT_NE(s.find("(r3)"), std::string::npos);
+}
+
+TEST(Decoder, InvalidOpcodeRejected)
+{
+    uint8_t bytes[] = {0x57};  // unassigned encoding in this model
+    DecodedInst di;
+    EXPECT_EQ(decodeInstruction({bytes, 1}, di), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness fuzzing
+// ---------------------------------------------------------------------------
+
+class DecoderFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashOrOverrun)
+{
+    Rng rng(GetParam() * 77777 + 13);
+    std::vector<uint8_t> buf(64);
+    for (int iter = 0; iter < 4000; ++iter) {
+        size_t len = 1 + rng.below(24);
+        for (size_t i = 0; i < len; ++i)
+            buf[i] = static_cast<uint8_t>(rng.next());
+        DecodedInst di;
+        uint32_t n = decodeInstruction({buf.data(), len}, di);
+        // Either rejected, or consumed within bounds with a valid
+        // descriptor and a renderable disassembly.
+        ASSERT_LE(n, len);
+        if (n) {
+            ASSERT_NE(di.info, nullptr);
+            EXPECT_FALSE(di.str().empty());
+            EXPECT_EQ(di.length, n);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(AssemblerRoundTrip, RandomInstructionStreams)
+{
+    // Assemble random (valid) instruction sequences and verify the
+    // decoder reconstructs the exact opcode sequence and boundaries.
+    Rng rng(2024);
+    static const Op pool[] = {
+        Op::MOVL,  Op::MOVB,  Op::ADDL2, Op::ADDL3, Op::SUBW3,
+        Op::CMPL,  Op::TSTB,  Op::CLRQ,  Op::BISL2, Op::XORB3,
+        Op::MCOMW, Op::INCL,  Op::ASHL,  Op::MOVZBW, Op::PUSHL,
+        Op::MOVAB, Op::EXTZV, Op::MULL3, Op::EMUL,  Op::ADWC,
+    };
+    for (int iter = 0; iter < 120; ++iter) {
+        Assembler a(0x2000);
+        std::vector<uint8_t> expect;
+        int count = 1 + static_cast<int>(rng.below(20));
+        for (int i = 0; i < count; ++i) {
+            Op op = pool[rng.below(std::size(pool))];
+            const OpcodeInfo &info = opcodeInfo(op);
+            std::vector<Operand> ops;
+            for (const OperandSpec &spec : info.specs()) {
+                switch (spec.access) {
+                  case Access::Read:
+                    ops.push_back(
+                        rng.chance(0.5)
+                            ? Operand::lit(static_cast<uint8_t>(
+                                  rng.below(64)))
+                            : Operand::disp(
+                                  static_cast<int32_t>(
+                                      rng.range(-200, 200)),
+                                  rng.below(12)));
+                    break;
+                  case Access::Field:
+                  case Access::Modify:
+                  case Access::Write:
+                    ops.push_back(Operand::reg(rng.below(12)));
+                    break;
+                  case Access::Address:
+                    ops.push_back(Operand::abs(
+                        0x4000 + 4 * static_cast<uint32_t>(
+                                      rng.below(64))));
+                    break;
+                  default:
+                    break;
+                }
+            }
+            a.emit(op, ops);
+            expect.push_back(static_cast<uint8_t>(op));
+        }
+        const auto &bytes = a.finish();
+        uint32_t pos = 0;
+        for (uint8_t want : expect) {
+            DecodedInst di;
+            uint32_t n = decodeInstruction(
+                {bytes.data() + pos, bytes.size() - pos}, di);
+            ASSERT_GT(n, 0u) << "iter " << iter;
+            ASSERT_EQ(di.opcode, want) << "iter " << iter;
+            pos += n;
+        }
+        EXPECT_EQ(pos, bytes.size()) << "iter " << iter;
+    }
+}

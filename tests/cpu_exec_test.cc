@@ -1,0 +1,813 @@
+/**
+ * @file
+ * Execute-unit semantics: architectural results and condition codes of
+ * the implemented VAX instructions, exercised one instruction (or
+ * idiom) at a time on the bare machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/assembler.hh"
+#include "cpu/vax780.hh"
+#include "cpu/vaxfloat.hh"
+#include "common/random.hh"
+
+#include <cmath>
+
+using namespace upc780;
+using namespace upc780::arch;
+using namespace upc780::cpu;
+
+namespace
+{
+
+/** Run an assembled fragment to HALT and expose the machine. */
+class Bare
+{
+  public:
+    explicit Bare(Assembler &a)
+    {
+        const auto &bytes = a.finish();
+        machine_.memsys().memory().load(
+            a.base(), bytes.data(),
+            static_cast<uint32_t>(bytes.size()));
+        machine_.ebox().reset(a.base(), false);
+        machine_.ebox().gpr(reg::SP) = 0x8000;
+    }
+
+    void
+    run()
+    {
+        machine_.run(500000);
+        ASSERT_TRUE(machine_.ebox().halted()) << "did not halt";
+    }
+
+    uint32_t r(unsigned i) { return machine_.ebox().gpr(i); }
+    bool n() { return machine_.ebox().ccN(); }
+    bool z() { return machine_.ebox().ccZ(); }
+    bool v() { return machine_.ebox().ccV(); }
+    bool c() { return machine_.ebox().ccC(); }
+
+    uint64_t
+    mem(uint32_t pa, uint32_t n)
+    {
+        return machine_.memsys().memory().read(pa, n);
+    }
+
+    void
+    poke(uint32_t pa, uint32_t n, uint64_t val)
+    {
+        machine_.memsys().memory().write(pa, n, val);
+    }
+
+    cpu::Vax780 machine_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Integer arithmetic and condition codes
+// ---------------------------------------------------------------------------
+
+TEST(Exec, AddSetsCarryAndOverflow)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x7FFFFFFF), Operand::reg(0)});
+    a.emit(Op::ADDL2, {Operand::lit(1), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 0x80000000u);
+    EXPECT_TRUE(b.n());
+    EXPECT_TRUE(b.v());
+    EXPECT_FALSE(b.c());
+}
+
+TEST(Exec, UnsignedCarry)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0xFFFFFFFF), Operand::reg(0)});
+    a.emit(Op::ADDL2, {Operand::lit(1), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 0u);
+    EXPECT_TRUE(b.z());
+    EXPECT_TRUE(b.c());
+    EXPECT_FALSE(b.v());
+}
+
+TEST(Exec, SubAndCompareBorrow)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::lit(5), Operand::reg(0)});
+    a.emit(Op::CMPL, {Operand::reg(0), Operand::lit(9)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_TRUE(b.n());  // 5 - 9 < 0
+    EXPECT_TRUE(b.c());  // unsigned borrow: 5 < 9
+}
+
+TEST(Exec, ByteSizedArithmeticMergesIntoRegister)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x11223344), Operand::reg(0)});
+    a.emit(Op::ADDB2, {Operand::lit(0x10), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 0x11223354u);  // only the low byte changes
+}
+
+TEST(Exec, AdwcPropagatesCarry)
+{
+    // 64-bit add: (0xFFFFFFFF, 1) + (1, 0) = (0, 2).
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0xFFFFFFFF), Operand::reg(0)});
+    a.emit(Op::MOVL, {Operand::lit(1), Operand::reg(1)});
+    a.emit(Op::ADDL2, {Operand::lit(1), Operand::reg(0)});
+    a.emit(Op::ADWC, {Operand::lit(0), Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 0u);
+    EXPECT_EQ(b.r(1), 2u);
+}
+
+TEST(Exec, LogicalOps)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0xF0F0F0F0), Operand::reg(0)});
+    a.emit(Op::BISL3, {Operand::imm(0x0000FFFF), Operand::reg(0),
+                       Operand::reg(1)});
+    a.emit(Op::BICL3, {Operand::imm(0x0000FFFF), Operand::reg(0),
+                       Operand::reg(2)});
+    a.emit(Op::XORL3, {Operand::imm(0xFFFFFFFF), Operand::reg(0),
+                       Operand::reg(3)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 0xF0F0FFFFu);
+    EXPECT_EQ(b.r(2), 0xF0F00000u);  // clear masked bits
+    EXPECT_EQ(b.r(3), 0x0F0F0F0Fu);
+}
+
+TEST(Exec, MulDivAndOverflow)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(1000), Operand::reg(0)});
+    a.emit(Op::MULL3, {Operand::imm(3000), Operand::reg(0),
+                       Operand::reg(1)});
+    a.emit(Op::DIVL3, {Operand::lit(7), Operand::reg(1),
+                       Operand::reg(2)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 3000000u);
+    EXPECT_EQ(b.r(2), 3000000u / 7);
+}
+
+TEST(Exec, DivideByZeroSetsV)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::lit(9), Operand::reg(0)});
+    a.emit(Op::CLRL, {Operand::reg(1)});
+    a.emit(Op::DIVL3, {Operand::reg(1), Operand::reg(0),
+                       Operand::reg(2)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_TRUE(b.v());
+}
+
+TEST(Exec, EmulAndEdiv)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(100000), Operand::reg(0)});
+    a.emit(Op::EMUL, {Operand::reg(0), Operand::reg(0), Operand::lit(5),
+                      Operand::reg(2)});  // r2:r3 = 10^10 + 5
+    a.emit(Op::EDIV, {Operand::imm(100000), Operand::reg(2),
+                      Operand::reg(4), Operand::reg(5)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    uint64_t prod = b.r(2) | (static_cast<uint64_t>(b.r(3)) << 32);
+    EXPECT_EQ(prod, 10000000000ull + 5);
+    EXPECT_EQ(b.r(4), 100000u);
+    EXPECT_EQ(b.r(5), 5u);
+}
+
+TEST(Exec, ShiftsAndRotate)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::lit(1), Operand::reg(0)});
+    a.emit(Op::ASHL, {Operand::lit(12), Operand::reg(0),
+                      Operand::reg(1)});
+    a.emit(Op::ASHL, {Operand::imm(static_cast<uint64_t>(-4) & 0xff),
+                      Operand::reg(1), Operand::reg(2)});
+    a.emit(Op::MOVL, {Operand::imm(0x80000001), Operand::reg(3)});
+    a.emit(Op::ROTL, {Operand::lit(4), Operand::reg(3),
+                      Operand::reg(4)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 1u << 12);
+    EXPECT_EQ(b.r(2), 1u << 8);
+    EXPECT_EQ(b.r(4), 0x00000018u);
+}
+
+TEST(Exec, ConvertsSignExtendAndOverflow)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0xFF80), Operand::reg(0)});
+    a.emit(Op::CVTWL, {Operand::reg(0), Operand::reg(1)});
+    a.emit(Op::MOVZWL, {Operand::reg(0), Operand::reg(2)});
+    a.emit(Op::MOVL, {Operand::imm(300), Operand::reg(3)});
+    a.emit(Op::CVTLB, {Operand::reg(3), Operand::reg(4)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 0xFFFFFF80u);  // sign-extended word
+    EXPECT_EQ(b.r(2), 0x0000FF80u);  // zero-extended
+    EXPECT_TRUE(b.v());              // 300 does not fit a byte
+}
+
+// ---------------------------------------------------------------------------
+// Branches and loops
+// ---------------------------------------------------------------------------
+
+TEST(Exec, AobAndAcbLoops)
+{
+    Assembler a(0x1000);
+    a.emit(Op::CLRL, {Operand::reg(0)});
+    a.emit(Op::CLRL, {Operand::reg(1)});
+    Label t1 = a.here();
+    a.emit(Op::INCL, {Operand::reg(0)});
+    a.emitBr(Op::AOBLSS, {Operand::lit(5), Operand::reg(1)}, t1);
+    // ACBL counting down from 10 by -2 while >= 2.
+    a.emit(Op::MOVL, {Operand::lit(10), Operand::reg(2)});
+    a.emit(Op::CLRL, {Operand::reg(3)});
+    Label t2 = a.here();
+    a.emit(Op::INCL, {Operand::reg(3)});
+    a.emitBr(Op::ACBL,
+             {Operand::lit(2), Operand::imm(static_cast<uint64_t>(-2)),
+              Operand::reg(2)},
+             t2);
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 5u);  // body ran 5 times
+    EXPECT_EQ(b.r(1), 5u);
+    EXPECT_EQ(b.r(3), 5u);  // 10,8,6,4,2 -> five passes
+    EXPECT_EQ(b.r(2), 0u);
+}
+
+TEST(Exec, CaseDispatchesAndFallsThrough)
+{
+    for (uint32_t sel : {0u, 2u, 7u}) {
+        Assembler a(0x1000);
+        std::vector<Label> arms{a.newLabel(), a.newLabel(),
+                                a.newLabel()};
+        Label merge = a.newLabel();
+        a.emit(Op::MOVL, {Operand::imm(sel), Operand::reg(0)});
+        a.emitCase(Op::CASEL,
+                   {Operand::reg(0), Operand::lit(0), Operand::lit(2)},
+                   arms);
+        a.emit(Op::MOVL, {Operand::imm(99), Operand::reg(1)});  // OOR
+        a.emitBr(Op::BRB, merge);
+        for (uint32_t i = 0; i < 3; ++i) {
+            a.bind(arms[i]);
+            a.emit(Op::MOVL, {Operand::imm(10 + i), Operand::reg(1)});
+            a.emitBr(Op::BRB, merge);
+        }
+        a.bind(merge);
+        a.emit(Op::HALT, {});
+        Bare b(a);
+        b.run();
+        EXPECT_EQ(b.r(1), sel <= 2 ? 10 + sel : 99u) << sel;
+    }
+}
+
+TEST(Exec, BlbsTestsLowBitOnly)
+{
+    Assembler a(0x1000);
+    Label skip = a.newLabel();
+    a.emit(Op::MOVL, {Operand::imm(0xFFFFFFFE), Operand::reg(0)});
+    a.emit(Op::CLRL, {Operand::reg(1)});
+    a.emitBr(Op::BLBS, {Operand::reg(0)}, skip);
+    a.emit(Op::MOVL, {Operand::lit(7), Operand::reg(1)});
+    a.bind(skip);
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 7u);  // bit 0 clear -> not taken
+}
+
+// ---------------------------------------------------------------------------
+// Bit fields and bit branches
+// ---------------------------------------------------------------------------
+
+TEST(Exec, ExtvInsvRegisterBase)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x00ABC000), Operand::reg(0)});
+    a.emit(Op::EXTZV, {Operand::lit(12), Operand::lit(12),
+                       Operand::reg(0), Operand::reg(1)});
+    a.emit(Op::MOVL, {Operand::imm(0x5), Operand::reg(2)});
+    a.emit(Op::INSV, {Operand::reg(2), Operand::lit(4), Operand::lit(4),
+                      Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 0xABCu);
+    EXPECT_EQ(b.r(0), 0x00ABC050u);
+}
+
+TEST(Exec, ExtvMemoryBaseSpanningLongwords)
+{
+    Assembler a(0x1000);
+    a.emit(Op::EXTZV, {Operand::lit(28), Operand::lit(8),
+                       Operand::regDef(2), Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.poke(0x4000, 4, 0xA0000000);
+    b.poke(0x4004, 4, 0x0000000B);
+    // field bits 28..35 across the boundary = 0xBA
+    b.machine_.ebox().gpr(2) = 0x4000;
+    b.run();
+    EXPECT_EQ(b.r(1), 0xBAu);
+}
+
+TEST(Exec, SignedExtvSignExtends)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x00000F00), Operand::reg(0)});
+    a.emit(Op::EXTV, {Operand::lit(8), Operand::lit(4),
+                      Operand::reg(0), Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 0xFFFFFFFFu);  // 0xF sign-extends
+}
+
+TEST(Exec, FfsFindsFirstSet)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x00000100), Operand::reg(0)});
+    a.emit(Op::FFS, {Operand::lit(0), Operand::lit(32),
+                     Operand::reg(0), Operand::reg(1)});
+    a.emit(Op::CLRL, {Operand::reg(2)});
+    a.emit(Op::FFS, {Operand::lit(0), Operand::lit(32),
+                     Operand::reg(2), Operand::reg(3)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 8u);
+    EXPECT_FALSE(b.z() && false);
+    EXPECT_EQ(b.r(3), 32u);  // not found: pos = start + size
+}
+
+TEST(Exec, BbssSetsAndBranchesOnOldValue)
+{
+    Assembler a(0x1000);
+    Label was_set = a.newLabel();
+    a.emit(Op::CLRL, {Operand::reg(1)});
+    a.emitBr(Op::BBSS, {Operand::lit(3), Operand::regDef(2)}, was_set);
+    a.emit(Op::MOVL, {Operand::lit(5), Operand::reg(1)});
+    a.bind(was_set);
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.poke(0x4000, 1, 0x00);
+    b.machine_.ebox().gpr(2) = 0x4000;
+    b.run();
+    EXPECT_EQ(b.r(1), 5u);  // bit was clear: no branch
+    EXPECT_EQ(b.mem(0x4000, 1), 0x08u);  // but the bit is now set
+}
+
+// ---------------------------------------------------------------------------
+// Floating point
+// ---------------------------------------------------------------------------
+
+TEST(Exec, FloatArithmetic)
+{
+    Assembler a(0x1000);
+    // 2.5 * 4.0 + 1.5 = 11.5
+    a.emit(Op::MOVL, {Operand::imm(doubleToFFloat(2.5)),
+                      Operand::reg(0)});
+    a.emit(Op::MOVL, {Operand::imm(doubleToFFloat(4.0)),
+                      Operand::reg(1)});
+    a.emit(Op::MULF2, {Operand::reg(0), Operand::reg(1)});
+    a.emit(Op::ADDF2, {Operand::imm(doubleToFFloat(1.5)),
+                       Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(1)), 11.5);
+}
+
+TEST(Exec, FloatCompareAndConvert)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(doubleToFFloat(3.75)),
+                      Operand::reg(0)});
+    a.emit(Op::CVTFL, {Operand::reg(0), Operand::reg(1)});   // trunc
+    a.emit(Op::CVTRFL, {Operand::reg(0), Operand::reg(2)});  // round
+    a.emit(Op::CVTLF, {Operand::lit(10), Operand::reg(3)});
+    a.emit(Op::CMPF, {Operand::reg(0), Operand::reg(3)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 3u);
+    EXPECT_EQ(b.r(2), 4u);
+    EXPECT_TRUE(b.n());  // 3.75 < 10
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(3)), 10.0);
+}
+
+TEST(Exec, FloatShortLiteralExpansion)
+{
+    // Short literal 0 expands to F-float 0.5 in a float context.
+    Assembler a(0x1000);
+    a.emit(Op::MOVF, {Operand::lit(0), Operand::reg(0)});
+    a.emit(Op::MOVF, {Operand::lit(63), Operand::reg(1)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(0)), 0.5);
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(1)), 120.0);
+}
+
+TEST(VaxFloat, RoundTripProperty)
+{
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        double v = (rng.uniform() - 0.5) * 1e6;
+        double back = fFloatToDouble(doubleToFFloat(v));
+        EXPECT_NEAR(back, v, std::abs(v) * 1e-6 + 1e-30);
+        double d = (rng.uniform() - 0.5) * 1e12;
+        EXPECT_NEAR(dFloatToDouble(doubleToDFloat(d)), d,
+                    std::abs(d) * 1e-12 + 1e-30);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings and decimal
+// ---------------------------------------------------------------------------
+
+TEST(Exec, Movc5FillsAndTruncates)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVC5, {Operand::imm(4), Operand::abs(0x4000),
+                       Operand::imm('x'), Operand::imm(8),
+                       Operand::abs(0x4100)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (int i = 0; i < 4; ++i)
+        b.poke(0x4000 + i, 1, 'a' + i);
+    b.run();
+    EXPECT_EQ(b.mem(0x4100, 4), 0x64636261u);  // "abcd"
+    EXPECT_EQ(b.mem(0x4104, 4), 0x78787878u);  // "xxxx"
+    EXPECT_EQ(b.r(0), 0u);
+}
+
+TEST(Exec, Cmpc3FindsMismatch)
+{
+    Assembler a(0x1000);
+    a.emit(Op::CMPC3, {Operand::imm(8), Operand::abs(0x4000),
+                       Operand::abs(0x4100)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (int i = 0; i < 8; ++i) {
+        b.poke(0x4000 + i, 1, 'a' + i);
+        b.poke(0x4100 + i, 1, i == 5 ? 'z' : 'a' + i);
+    }
+    b.run();
+    EXPECT_FALSE(b.z());
+    EXPECT_EQ(b.r(0), 3u);          // 8 - 5 remaining
+    EXPECT_EQ(b.r(1), 0x4005u);     // mismatch address
+    EXPECT_TRUE(b.n());             // 'f' < 'z'
+}
+
+TEST(Exec, LoccFindsCharacter)
+{
+    Assembler a(0x1000);
+    a.emit(Op::LOCC, {Operand::imm('q'), Operand::imm(16),
+                      Operand::abs(0x4000)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (int i = 0; i < 16; ++i)
+        b.poke(0x4000 + i, 1, i == 11 ? 'q' : '.');
+    b.run();
+    EXPECT_EQ(b.r(0), 5u);       // 16 - 11
+    EXPECT_EQ(b.r(1), 0x400Bu);
+    EXPECT_FALSE(b.z());
+}
+
+TEST(Exec, DecimalConvertAndAdd)
+{
+    Assembler a(0x1000);
+    a.emit(Op::CVTLP, {Operand::imm(1234), Operand::lit(7),
+                       Operand::abs(0x4000)});
+    a.emit(Op::CVTLP, {Operand::imm(4321), Operand::lit(9),
+                       Operand::abs(0x4100)});
+    a.emit(Op::ADDP4, {Operand::lit(7), Operand::abs(0x4000),
+                       Operand::lit(9), Operand::abs(0x4100)});
+    a.emit(Op::CVTPL, {Operand::lit(9), Operand::abs(0x4100),
+                       Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), 5555u);
+}
+
+TEST(Exec, Cmpp3SetsCc)
+{
+    Assembler a(0x1000);
+    a.emit(Op::CVTLP, {Operand::imm(100), Operand::lit(5),
+                       Operand::abs(0x4000)});
+    a.emit(Op::CVTLP, {Operand::imm(200), Operand::lit(5),
+                       Operand::abs(0x4100)});
+    a.emit(Op::CMPP3, {Operand::lit(5), Operand::abs(0x4000),
+                       Operand::abs(0x4100)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_TRUE(b.n());
+    EXPECT_FALSE(b.z());
+}
+
+// ---------------------------------------------------------------------------
+// Queue, PSL and system-adjacent instructions
+// ---------------------------------------------------------------------------
+
+TEST(Exec, InsqueRemqueMaintainLinks)
+{
+    Assembler a(0x1000);
+    a.emit(Op::INSQUE, {Operand::abs(0x4100), Operand::abs(0x4000)});
+    a.emit(Op::INSQUE, {Operand::abs(0x4200), Operand::abs(0x4000)});
+    a.emit(Op::REMQUE, {Operand::abs(0x4100), Operand::reg(7)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    // Empty self-referential queue header at 0x4000.
+    b.poke(0x4000, 4, 0x4000);
+    b.poke(0x4004, 4, 0x4000);
+    b.run();
+    // After: header <-> 0x4200 only.
+    EXPECT_EQ(b.mem(0x4000, 4), 0x4200u);
+    EXPECT_EQ(b.mem(0x4204, 4), 0x4000u);
+    EXPECT_EQ(b.mem(0x4200, 4), 0x4000u);
+    EXPECT_EQ(b.r(7), 0x4100u);
+}
+
+TEST(Exec, PushrPoprRoundTrip)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::imm(0x1111), Operand::reg(2)});
+    a.emit(Op::MOVL, {Operand::imm(0x2222), Operand::reg(5)});
+    a.emit(Op::PUSHR, {Operand::lit(0x24)});  // r2, r5
+    a.emit(Op::CLRL, {Operand::reg(2)});
+    a.emit(Op::CLRL, {Operand::reg(5)});
+    a.emit(Op::POPR, {Operand::lit(0x24)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(2), 0x1111u);
+    EXPECT_EQ(b.r(5), 0x2222u);
+    EXPECT_EQ(b.r(reg::SP), 0x8000u);
+}
+
+TEST(Exec, BispswSetsConditionBits)
+{
+    Assembler a(0x1000);
+    a.emit(Op::BISPSW, {Operand::lit(0x0F)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_TRUE(b.n());
+    EXPECT_TRUE(b.z());
+    EXPECT_TRUE(b.v());
+    EXPECT_TRUE(b.c());
+}
+
+TEST(Exec, MovpslReadsPsl)
+{
+    Assembler a(0x1000);
+    a.emit(Op::BISPSW, {Operand::lit(0x05)});  // set N and C? (bits)
+    a.emit(Op::MOVPSL, {Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0) & 0xFu, 0x5u);
+}
+
+TEST(Exec, IndexComputesSubscript)
+{
+    Assembler a(0x1000);
+    a.emit(Op::INDEX, {Operand::lit(7), Operand::lit(0),
+                       Operand::lit(63), Operand::lit(8),
+                       Operand::lit(2), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(0), (7u + 2u) * 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Addressing-mode interactions through the full pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Exec, IndexedAddressing)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::lit(3), Operand::reg(1)});
+    a.emit(Op::MOVL, {Operand::disp(0, 2).indexed(1), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (uint32_t i = 0; i < 8; ++i)
+        b.poke(0x4000 + 4 * i, 4, 100 + i);
+    b.machine_.ebox().gpr(2) = 0x4000;
+    b.run();
+    EXPECT_EQ(b.r(0), 103u);  // base + index*4
+}
+
+TEST(Exec, DisplacementDeferred)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::dispDef(4, 2), Operand::reg(0)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.poke(0x4004, 4, 0x5000);      // pointer
+    b.poke(0x5000, 4, 0xFEEDFACE);  // target
+    b.machine_.ebox().gpr(2) = 0x4000;
+    b.run();
+    EXPECT_EQ(b.r(0), 0xFEEDFACEu);
+}
+
+TEST(Exec, QuadMoveUsesRegisterPair)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVQ, {Operand::regDef(2), Operand::reg(4)});
+    a.emit(Op::CLRQ, {Operand::reg(6)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.poke(0x4000, 8, 0x1122334455667788ull);
+    b.machine_.ebox().gpr(2) = 0x4000;
+    b.machine_.ebox().gpr(6) = 1;
+    b.machine_.ebox().gpr(7) = 2;
+    b.run();
+    EXPECT_EQ(b.r(4), 0x55667788u);
+    EXPECT_EQ(b.r(5), 0x11223344u);
+    EXPECT_EQ(b.r(6), 0u);
+    EXPECT_EQ(b.r(7), 0u);
+}
+
+TEST(Exec, ImmediateQuadOperand)
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVQ, {Operand::imm(0xAABBCCDD11223344ull),
+                      Operand::reg(2)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(2), 0x11223344u);
+    EXPECT_EQ(b.r(3), 0xAABBCCDDu);
+}
+
+TEST(Exec, NoFpaMachineComputesSameFloatResultSlower)
+{
+    auto build = [] {
+        Assembler a(0x1000);
+        a.emit(Op::MOVL, {Operand::imm(doubleToFFloat(2.5)),
+                          Operand::reg(0)});
+        for (int i = 0; i < 10; ++i)
+            a.emit(Op::MULF2, {Operand::imm(doubleToFFloat(1.5)),
+                               Operand::reg(0)});
+        a.emit(Op::HALT, {});
+        return a.finish();
+    };
+
+    auto run = [&](bool fpa) {
+        cpu::MachineConfig cfg;
+        cfg.fpa = fpa;
+        auto machine = std::make_unique<cpu::Vax780>(cfg);
+        auto img = build();
+        machine->memsys().memory().load(
+            0x1000, img.data(), static_cast<uint32_t>(img.size()));
+        machine->ebox().reset(0x1000, false);
+        machine->ebox().gpr(reg::SP) = 0x8000;
+        machine->run(100000);
+        EXPECT_TRUE(machine->ebox().halted());
+        return std::make_pair(machine->ebox().gpr(0),
+                              machine->cycles());
+    };
+
+    auto [with_val, with_cycles] = run(true);
+    auto [without_val, without_cycles] = run(false);
+    EXPECT_EQ(with_val, without_val);  // identical arithmetic
+    // Ten software MULFs cost hundreds of extra cycles.
+    EXPECT_GT(without_cycles, with_cycles + 300);
+    double expect = 2.5;
+    for (int i = 0; i < 10; ++i)
+        expect *= 1.5;
+    EXPECT_NEAR(fFloatToDouble(with_val), expect, expect * 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Exotic-instruction semantics
+// ---------------------------------------------------------------------------
+
+TEST(Exec, PolyfEvaluatesHorner)
+{
+    // p(x) = 2x^2 + 3x + 5 at x = 4 -> 49. Table holds coefficients
+    // highest degree first.
+    Assembler a(0x1000);
+    a.emit(Op::POLYF, {Operand::imm(doubleToFFloat(4.0)),
+                       Operand::imm(2), Operand::abs(0x4000)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.poke(0x4000, 4, doubleToFFloat(2.0));
+    b.poke(0x4004, 4, doubleToFFloat(3.0));
+    b.poke(0x4008, 4, doubleToFFloat(5.0));
+    b.run();
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(0)), 49.0);
+    EXPECT_EQ(b.r(3), 0x400Cu);  // table pointer past last coeff
+}
+
+TEST(Exec, EmodfSplitsIntegerAndFraction)
+{
+    // 2.5 * 3.0 = 7.5 -> int 7, fract 0.5.
+    Assembler a(0x1000);
+    a.emit(Op::EMODF, {Operand::imm(doubleToFFloat(2.5)),
+                       Operand::lit(0),
+                       Operand::imm(doubleToFFloat(3.0)),
+                       Operand::reg(1), Operand::reg(2)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    EXPECT_EQ(b.r(1), 7u);
+    EXPECT_DOUBLE_EQ(fFloatToDouble(b.r(2)), 0.5);
+}
+
+TEST(Exec, MovtcTranslatesThroughTable)
+{
+    // Identity+1 table: each byte is mapped to byte+1.
+    Assembler a(0x1000);
+    a.emit(Op::MOVTC, {Operand::imm(4), Operand::abs(0x4000),
+                       Operand::imm('?'), Operand::abs(0x5000),
+                       Operand::imm(6), Operand::abs(0x4100)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (uint32_t i = 0; i < 256; ++i)
+        b.poke(0x5000 + i, 1, (i + 1) & 0xFF);
+    for (uint32_t i = 0; i < 4; ++i)
+        b.poke(0x4000 + i, 1, 'a' + i);
+    b.run();
+    EXPECT_EQ(b.mem(0x4100, 4), 0x65646362u);  // "bcde"
+    EXPECT_EQ(b.mem(0x4104, 2), 0x3F3Fu);      // fill "??"
+}
+
+TEST(Exec, ScancFindsTableMatch)
+{
+    Assembler a(0x1000);
+    a.emit(Op::SCANC, {Operand::imm(8), Operand::abs(0x4000),
+                       Operand::abs(0x5000), Operand::imm(0x01)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (uint32_t i = 0; i < 8; ++i)
+        b.poke(0x4000 + i, 1, 'a' + i);
+    // Table flags only 'e' (0x65) with bit 0.
+    b.poke(0x5000 + 'e', 1, 0x01);
+    b.run();
+    EXPECT_EQ(b.r(1), 0x4004u);  // address of 'e'
+    EXPECT_EQ(b.r(0), 4u);       // remaining including match
+}
+
+TEST(Exec, CvtptProducesDigits)
+{
+    Assembler a(0x1000);
+    a.emit(Op::CVTLP, {Operand::imm(9042), Operand::lit(7),
+                       Operand::abs(0x4000)});
+    a.emit(Op::CVTPT, {Operand::lit(7), Operand::abs(0x4000),
+                       Operand::abs(0x5000), Operand::lit(7),
+                       Operand::abs(0x4100)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    b.run();
+    // Trailing-numeric output ends in ...9042 as ASCII digits.
+    EXPECT_EQ(b.mem(0x4104, 4), 0x32343039u);  // "9042"
+}
+
+TEST(Exec, CrcMatchesReferenceNibbleAlgorithm)
+{
+    // CRC with an all-zero table degenerates to zero.
+    Assembler a(0x1000);
+    a.emit(Op::CRC, {Operand::abs(0x5000), Operand::imm(0),
+                     Operand::imm(8), Operand::abs(0x4000)});
+    a.emit(Op::HALT, {});
+    Bare b(a);
+    for (uint32_t i = 0; i < 8; ++i)
+        b.poke(0x4000 + i, 1, 0xA5);
+    b.run();
+    EXPECT_EQ(b.r(0), 0u);
+    EXPECT_EQ(b.r(3), 0x4008u);
+}

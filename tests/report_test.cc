@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Report-writer tests: the full report renders every table in both
+ * text and markdown, and the numbers embedded in it agree with the
+ * analyzer they came from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/report.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+/** Shared small measurement for all report tests. */
+const sim::WorkloadResult &
+measurement()
+{
+    static const sim::WorkloadResult r = [] {
+        sim::ExperimentConfig cfg;
+        cfg.instructionsPerWorkload = 15000;
+        cfg.warmupInstructions = 3000;
+        sim::ExperimentRunner runner(cfg);
+        auto p = wkl::timesharing1Profile();
+        p.users = 6;
+        return runner.runWorkload(p);
+    }();
+    return r;
+}
+
+} // namespace
+
+TEST(Report, TextContainsEveryTable)
+{
+    const auto &m = measurement();
+    upc::HistogramAnalyzer an(m.histogram, ucode::microcodeImage());
+    upc::ReportHwInputs hw;
+    hw.ibFills = m.hw.ibFills;
+    std::string s = upc::writeReport(an, hw);
+
+    for (const char *needle :
+         {"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+          "Table 6", "Table 7", "Table 8", "Table 9",
+          "Implementation events", "SIMPLE", "SPEC2-6", "Mem Mgmt",
+          "Percent indexed", "TB misses"}) {
+        EXPECT_NE(s.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Report, MarkdownMode)
+{
+    const auto &m = measurement();
+    upc::HistogramAnalyzer an(m.histogram, ucode::microcodeImage());
+    upc::ReportOptions opt;
+    opt.markdown = true;
+    opt.title = "MD Report";
+    std::string s = upc::writeReport(an, {}, opt);
+    EXPECT_EQ(s.rfind("# MD Report", 0), 0u);
+    EXPECT_NE(s.find("### Table 8"), std::string::npos);
+    EXPECT_NE(s.find("|---|"), std::string::npos);
+}
+
+TEST(Report, NumbersAgreeWithAnalyzer)
+{
+    const auto &m = measurement();
+    upc::HistogramAnalyzer an(m.histogram, ucode::microcodeImage());
+    std::string s = upc::writeReport(an, {});
+    char cpi[32];
+    std::snprintf(cpi, sizeof(cpi), "%.3f cycles", an.cpi());
+    EXPECT_NE(s.find(cpi), std::string::npos);
+    char instr[64];
+    std::snprintf(instr, sizeof(instr), "%llu instructions",
+                  static_cast<unsigned long long>(an.instructions()));
+    EXPECT_NE(s.find(instr), std::string::npos);
+}
+
+TEST(Report, EmptyMeasurementSafe)
+{
+    upc::Histogram h;
+    upc::HistogramAnalyzer an(h, ucode::microcodeImage());
+    EXPECT_EQ(upc::writeReport(an, {}), "(empty measurement)\n");
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Instruction tracer tests: records match the program, ring-buffer
+ * semantics hold, disassembly text is sensible, and — like the UPC
+ * monitor — the tracer is passive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/assembler.hh"
+#include "cpu/trace.hh"
+#include "cpu/vax780.hh"
+#include "os/kernel.hh"
+#include "workload/codegen.hh"
+
+using namespace upc780;
+using namespace upc780::arch;
+using namespace upc780::cpu;
+
+namespace
+{
+
+std::vector<uint8_t>
+countdownProgram()
+{
+    Assembler a(0x1000);
+    a.emit(Op::MOVL, {Operand::lit(3), Operand::reg(1)});
+    Label top = a.here();
+    a.emit(Op::INCL, {Operand::reg(0)});
+    a.emitBr(Op::SOBGTR, {Operand::reg(1)}, top);
+    a.emit(Op::HALT, {});
+    return a.finish();
+}
+
+} // namespace
+
+TEST(Tracer, RecordsRetiredStream)
+{
+    Vax780 machine;
+    auto img = countdownProgram();
+    machine.memsys().memory().load(0x1000, img.data(),
+                                   static_cast<uint32_t>(img.size()));
+    machine.ebox().reset(0x1000, false);
+    machine.ebox().gpr(reg::SP) = 0x8000;
+
+    InstrTracer tracer(machine, 32);
+    machine.attachProbe(&tracer);
+    machine.run(10000);
+
+    auto recs = tracer.records();
+    // MOVL + 3x(INCL, SOBGTR) + HALT = 8 instructions.
+    ASSERT_EQ(recs.size(), 8u);
+    EXPECT_EQ(tracer.retired(), 8u);
+    EXPECT_EQ(recs[0].pc, 0x1000u);
+    EXPECT_NE(recs[0].text.find("movl"), std::string::npos);
+    EXPECT_NE(recs[1].text.find("incl"), std::string::npos);
+    EXPECT_NE(recs[2].text.find("sobgtr"), std::string::npos);
+    EXPECT_NE(recs.back().text.find("halt"), std::string::npos);
+    // Sequence numbers are monotonic.
+    for (size_t i = 1; i < recs.size(); ++i)
+        EXPECT_EQ(recs[i].seq, recs[i - 1].seq + 1);
+    // The register snapshot at the final SOBGTR's decode sees all
+    // three INCLs already retired.
+    EXPECT_EQ(recs[recs.size() - 2].r0, 3u);
+}
+
+TEST(Tracer, RingKeepsMostRecent)
+{
+    Vax780 machine;
+    auto img = countdownProgram();
+    machine.memsys().memory().load(0x1000, img.data(),
+                                   static_cast<uint32_t>(img.size()));
+    machine.ebox().reset(0x1000, false);
+    machine.ebox().gpr(reg::SP) = 0x8000;
+
+    InstrTracer tracer(machine, 3);
+    machine.attachProbe(&tracer);
+    machine.run(10000);
+
+    auto recs = tracer.records();
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(tracer.retired(), 8u);
+    EXPECT_EQ(recs.back().seq, 7u);  // newest retained
+    EXPECT_EQ(recs.front().seq, 5u);
+}
+
+TEST(Tracer, PassiveOnFullSystem)
+{
+    auto run = [](bool traced) {
+        Vax780 machine;
+        os::VmsLite vms(machine);
+        auto profile = wkl::timesharing1Profile();
+        profile.users = 3;
+        for (auto &img : wkl::buildWorkload(profile))
+            vms.addProcess(img);
+        std::unique_ptr<InstrTracer> tracer;
+        if (traced) {
+            tracer = std::make_unique<InstrTracer>(machine, 16);
+            machine.attachProbe(tracer.get());
+        }
+        vms.boot();
+        machine.run(60000);
+        return machine.ebox().instructions();
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Tracer, StrRendersLines)
+{
+    Vax780 machine;
+    auto img = countdownProgram();
+    machine.memsys().memory().load(0x1000, img.data(),
+                                   static_cast<uint32_t>(img.size()));
+    machine.ebox().reset(0x1000, false);
+    machine.ebox().gpr(reg::SP) = 0x8000;
+    InstrTracer tracer(machine, 16);
+    machine.attachProbe(&tracer);
+    machine.run(10000);
+
+    std::string text = tracer.str();
+    EXPECT_NE(text.find("sobgtr"), std::string::npos);
+    EXPECT_NE(text.find("00001000"), std::string::npos);
+    tracer.clear();
+    EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Tracer, TracesThroughKernelTransitions)
+{
+    // On a full system the trace must include both user code (low PCs)
+    // and kernel code (S0 PCs) around interrupts.
+    Vax780 machine;
+    os::VmsLite vms(machine);
+    os::OsConfig cfg;
+    auto profile = wkl::timesharing1Profile();
+    profile.users = 2;
+    for (auto &img : wkl::buildWorkload(profile))
+        vms.addProcess(img);
+    InstrTracer tracer(machine, 4096);
+    machine.attachProbe(&tracer);
+    vms.boot();
+    machine.run(120000);
+
+    bool saw_user = false, saw_kernel = false;
+    for (const auto &r : tracer.records()) {
+        if (r.pc < 0x40000000)
+            saw_user = true;
+        if (r.pc >= 0x80000000)
+            saw_kernel = true;
+    }
+    EXPECT_TRUE(saw_user);
+    EXPECT_TRUE(saw_kernel);
+}

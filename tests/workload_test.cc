@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Workload-generator tests: generated programs decode cleanly from
+ * start to finish, stay within their mapped regions statically, vary
+ * across users, and the canned profiles are well-formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/decoder.hh"
+#include "workload/codegen.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+using namespace upc780::arch;
+
+TEST(Profiles, FiveCannedWorkloads)
+{
+    auto all = wkl::paperWorkloads();
+    ASSERT_EQ(all.size(), 5u);
+    std::set<std::string> names;
+    for (const auto &p : all) {
+        names.insert(p.name);
+        EXPECT_GE(p.users, 15u);
+        EXPECT_LE(p.users, 40u);
+        EXPECT_GT(p.dataPages, 0u);
+        EXPECT_GT(p.thinkMeanCycles, 0.0);
+    }
+    EXPECT_EQ(names.size(), 5u);  // distinct names
+}
+
+TEST(Profiles, UserCountsMatchPaper)
+{
+    EXPECT_EQ(wkl::timesharing1Profile().users, 15u);
+    EXPECT_EQ(wkl::timesharing2Profile().users, 30u);
+    EXPECT_EQ(wkl::educationalProfile().users, 40u);
+    EXPECT_EQ(wkl::scientificProfile().users, 40u);
+    EXPECT_EQ(wkl::commercialProfile().users, 32u);
+}
+
+class GeneratedProgram : public ::testing::TestWithParam<int>
+{
+  protected:
+    wkl::WorkloadProfile
+    profileFor(int i)
+    {
+        auto all = wkl::paperWorkloads();
+        return all[static_cast<size_t>(i) % all.size()];
+    }
+};
+
+TEST_P(GeneratedProgram, DecodesFromEntryWithoutGaps)
+{
+    auto profile = profileFor(GetParam());
+    wkl::ProgramGenerator gen(profile, 7777 + GetParam());
+    os::ProcessImage img = gen.generate();
+
+    ASSERT_LT(img.entry, img.p0Image.size());
+    // Decode linearly from address 0 (functions come first); every
+    // byte up to the data region must decode as a valid instruction.
+    // CASE tables interrupt linear decode, so decode greedily and
+    // allow a bounded number of resync skips (table words).
+    uint32_t pos = 0;
+    uint32_t decoded = 0, skips = 0;
+    const uint32_t code_end = 24576;
+    while (pos < code_end && pos < img.p0Image.size()) {
+        // Stop at the zero padding after the program (a run of
+        // zeros; single zero bytes occur inside CASE tables).
+        if (img.p0Image[pos] == 0) {
+            uint32_t z = pos;
+            while (z < img.p0Image.size() && img.p0Image[z] == 0)
+                ++z;
+            if (z - pos > 16)
+                break;
+            skips += z - pos;
+            pos = z;
+            continue;
+        }
+        DecodedInst di;
+        uint32_t n = decodeInstruction(
+            {img.p0Image.data() + pos,
+             img.p0Image.size() - pos}, di);
+        if (n == 0) {
+            ++skips;
+            ++pos;
+            continue;
+        }
+        ++decoded;
+        pos += n;
+        // CASE displacement tables follow the instruction; skip them.
+        if (di.info && di.info->pcClass == PcClass::Case) {
+            // Tables are limit+1 words; bounded by the generator.
+            while (pos + 1 < img.p0Image.size() &&
+                   (img.p0Image[pos] != 0 || img.p0Image[pos + 1] != 0) &&
+                   decodeInstruction({img.p0Image.data() + pos,
+                                      img.p0Image.size() - pos},
+                                     di) == 0) {
+                pos += 2;
+            }
+        }
+    }
+    EXPECT_GT(decoded, 200u);
+    // Resync skips should be rare (entry-mask words, case tables).
+    EXPECT_LT(skips, decoded / 4);
+}
+
+TEST_P(GeneratedProgram, FitsDeclaredRegions)
+{
+    auto profile = profileFor(GetParam());
+    wkl::ProgramGenerator gen(profile, 1234 + GetParam());
+    os::ProcessImage img = gen.generate();
+    EXPECT_EQ(img.p0Image.size() % 4, 0u);
+    EXPECT_LE(img.p0Image.size(),
+              static_cast<size_t>(img.p0Pages) * 512);
+    // Stack headroom above the image.
+    EXPECT_GE(img.p0Pages * 512 - img.p0Image.size(), 8u * 512);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedProgram,
+                         ::testing::Range(0, 10));
+
+TEST(Generator, DistinctUsersGetDistinctPrograms)
+{
+    auto profile = wkl::educationalProfile();
+    profile.users = 4;
+    auto images = wkl::buildWorkload(profile);
+    ASSERT_EQ(images.size(), 4u);
+    EXPECT_NE(images[0].p0Image, images[1].p0Image);
+    EXPECT_NE(images[1].p0Image, images[2].p0Image);
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    auto profile = wkl::scientificProfile();
+    wkl::ProgramGenerator g1(profile, 42), g2(profile, 42);
+    EXPECT_EQ(g1.generate().p0Image, g2.generate().p0Image);
+}
+
+TEST(Generator, ProfileShiftsOpcodeMix)
+{
+    // The scientific profile must emit more float opcodes than the
+    // commercial profile; the commercial one more decimal/queue ops.
+    auto count_ops = [](const wkl::WorkloadProfile &p,
+                        auto predicate) {
+        uint32_t hits = 0;
+        for (uint64_t seed : {99, 100, 101, 102}) {
+            wkl::ProgramGenerator gen(p, seed);
+            auto img = gen.generate();
+            uint32_t pos = 0;
+            uint32_t zeros = 0;
+            while (pos < img.p0Image.size() && zeros < 16) {
+                if (img.p0Image[pos] == 0) {
+                    ++zeros;
+                    ++pos;
+                    continue;
+                }
+                zeros = 0;
+                DecodedInst di;
+                uint32_t n = decodeInstruction(
+                    {img.p0Image.data() + pos,
+                     img.p0Image.size() - pos},
+                    di);
+                if (!n) {
+                    ++pos;
+                    continue;
+                }
+                if (predicate(di.info->group))
+                    ++hits;
+                pos += n;
+            }
+        }
+        return hits;
+    };
+    auto is_float = [](Group g) { return g == Group::Float; };
+    auto is_dec = [](Group g) { return g == Group::Decimal; };
+    EXPECT_GT(count_ops(wkl::scientificProfile(), is_float),
+              count_ops(wkl::commercialProfile(), is_float));
+    EXPECT_GE(count_ops(wkl::commercialProfile(), is_dec),
+              count_ops(wkl::scientificProfile(), is_dec));
+}
