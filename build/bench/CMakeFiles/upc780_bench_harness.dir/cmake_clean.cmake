@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/upc780_bench_harness.dir/harness.cc.o.d"
+  "libupc780_bench_harness.a"
+  "libupc780_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

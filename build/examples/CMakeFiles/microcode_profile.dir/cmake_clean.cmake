@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_profile.dir/microcode_profile.cpp.o"
+  "CMakeFiles/microcode_profile.dir/microcode_profile.cpp.o.d"
+  "microcode_profile"
+  "microcode_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

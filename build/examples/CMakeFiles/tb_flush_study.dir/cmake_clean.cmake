@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_flush_study.dir/tb_flush_study.cpp.o"
+  "CMakeFiles/tb_flush_study.dir/tb_flush_study.cpp.o.d"
+  "tb_flush_study"
+  "tb_flush_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_flush_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

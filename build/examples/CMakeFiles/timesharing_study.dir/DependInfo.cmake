@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/timesharing_study.cpp" "examples/CMakeFiles/timesharing_study.dir/timesharing_study.cpp.o" "gcc" "examples/CMakeFiles/timesharing_study.dir/timesharing_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/upc780_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/upc780_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/upc780_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/upc780_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/upc780_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/upc780_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/upc780_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/upc780_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/upc780_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upc780_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

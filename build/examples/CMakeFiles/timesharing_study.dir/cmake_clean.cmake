@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timesharing_study.dir/timesharing_study.cpp.o"
+  "CMakeFiles/timesharing_study.dir/timesharing_study.cpp.o.d"
+  "timesharing_study"
+  "timesharing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timesharing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

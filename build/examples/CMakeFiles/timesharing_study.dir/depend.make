@@ -1,0 +1,2 @@
+# Empty dependencies file for timesharing_study.
+# This may be replaced when dependencies are built.

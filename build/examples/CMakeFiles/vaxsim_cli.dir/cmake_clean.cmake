@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaxsim_cli.dir/vaxsim_cli.cpp.o"
+  "CMakeFiles/vaxsim_cli.dir/vaxsim_cli.cpp.o.d"
+  "vaxsim_cli"
+  "vaxsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaxsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

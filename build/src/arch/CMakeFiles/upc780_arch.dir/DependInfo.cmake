@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/assembler.cc" "src/arch/CMakeFiles/upc780_arch.dir/assembler.cc.o" "gcc" "src/arch/CMakeFiles/upc780_arch.dir/assembler.cc.o.d"
+  "/root/repo/src/arch/decoder.cc" "src/arch/CMakeFiles/upc780_arch.dir/decoder.cc.o" "gcc" "src/arch/CMakeFiles/upc780_arch.dir/decoder.cc.o.d"
+  "/root/repo/src/arch/opcodes.cc" "src/arch/CMakeFiles/upc780_arch.dir/opcodes.cc.o" "gcc" "src/arch/CMakeFiles/upc780_arch.dir/opcodes.cc.o.d"
+  "/root/repo/src/arch/specifier.cc" "src/arch/CMakeFiles/upc780_arch.dir/specifier.cc.o" "gcc" "src/arch/CMakeFiles/upc780_arch.dir/specifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upc780_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

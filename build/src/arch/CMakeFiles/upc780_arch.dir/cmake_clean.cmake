@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_arch.dir/assembler.cc.o"
+  "CMakeFiles/upc780_arch.dir/assembler.cc.o.d"
+  "CMakeFiles/upc780_arch.dir/decoder.cc.o"
+  "CMakeFiles/upc780_arch.dir/decoder.cc.o.d"
+  "CMakeFiles/upc780_arch.dir/opcodes.cc.o"
+  "CMakeFiles/upc780_arch.dir/opcodes.cc.o.d"
+  "CMakeFiles/upc780_arch.dir/specifier.cc.o"
+  "CMakeFiles/upc780_arch.dir/specifier.cc.o.d"
+  "libupc780_arch.a"
+  "libupc780_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupc780_arch.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_common.dir/logging.cc.o"
+  "CMakeFiles/upc780_common.dir/logging.cc.o.d"
+  "CMakeFiles/upc780_common.dir/random.cc.o"
+  "CMakeFiles/upc780_common.dir/random.cc.o.d"
+  "CMakeFiles/upc780_common.dir/stats.cc.o"
+  "CMakeFiles/upc780_common.dir/stats.cc.o.d"
+  "CMakeFiles/upc780_common.dir/table.cc.o"
+  "CMakeFiles/upc780_common.dir/table.cc.o.d"
+  "libupc780_common.a"
+  "libupc780_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/ebox.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/ebox.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/ebox.cc.o.d"
+  "/root/repo/src/cpu/exec.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/exec.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/exec.cc.o.d"
+  "/root/repo/src/cpu/ibox.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/ibox.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/ibox.cc.o.d"
+  "/root/repo/src/cpu/trace.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/trace.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/trace.cc.o.d"
+  "/root/repo/src/cpu/vax780.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/vax780.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/vax780.cc.o.d"
+  "/root/repo/src/cpu/vaxfloat.cc" "src/cpu/CMakeFiles/upc780_cpu.dir/vaxfloat.cc.o" "gcc" "src/cpu/CMakeFiles/upc780_cpu.dir/vaxfloat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upc780_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/upc780_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/upc780_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/upc780_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/upc780_ucode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_cpu.dir/ebox.cc.o"
+  "CMakeFiles/upc780_cpu.dir/ebox.cc.o.d"
+  "CMakeFiles/upc780_cpu.dir/exec.cc.o"
+  "CMakeFiles/upc780_cpu.dir/exec.cc.o.d"
+  "CMakeFiles/upc780_cpu.dir/ibox.cc.o"
+  "CMakeFiles/upc780_cpu.dir/ibox.cc.o.d"
+  "CMakeFiles/upc780_cpu.dir/trace.cc.o"
+  "CMakeFiles/upc780_cpu.dir/trace.cc.o.d"
+  "CMakeFiles/upc780_cpu.dir/vax780.cc.o"
+  "CMakeFiles/upc780_cpu.dir/vax780.cc.o.d"
+  "CMakeFiles/upc780_cpu.dir/vaxfloat.cc.o"
+  "CMakeFiles/upc780_cpu.dir/vaxfloat.cc.o.d"
+  "libupc780_cpu.a"
+  "libupc780_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

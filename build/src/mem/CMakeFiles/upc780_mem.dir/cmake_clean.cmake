@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_mem.dir/cache.cc.o"
+  "CMakeFiles/upc780_mem.dir/cache.cc.o.d"
+  "CMakeFiles/upc780_mem.dir/memory.cc.o"
+  "CMakeFiles/upc780_mem.dir/memory.cc.o.d"
+  "CMakeFiles/upc780_mem.dir/memsys.cc.o"
+  "CMakeFiles/upc780_mem.dir/memsys.cc.o.d"
+  "CMakeFiles/upc780_mem.dir/sbi.cc.o"
+  "CMakeFiles/upc780_mem.dir/sbi.cc.o.d"
+  "CMakeFiles/upc780_mem.dir/writebuffer.cc.o"
+  "CMakeFiles/upc780_mem.dir/writebuffer.cc.o.d"
+  "libupc780_mem.a"
+  "libupc780_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

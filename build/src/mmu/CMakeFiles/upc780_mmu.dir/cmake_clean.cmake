@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_mmu.dir/pagetable.cc.o"
+  "CMakeFiles/upc780_mmu.dir/pagetable.cc.o.d"
+  "CMakeFiles/upc780_mmu.dir/tb.cc.o"
+  "CMakeFiles/upc780_mmu.dir/tb.cc.o.d"
+  "libupc780_mmu.a"
+  "libupc780_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

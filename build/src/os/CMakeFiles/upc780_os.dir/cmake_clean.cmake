@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_os.dir/kernel.cc.o"
+  "CMakeFiles/upc780_os.dir/kernel.cc.o.d"
+  "libupc780_os.a"
+  "libupc780_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_sim.dir/experiment.cc.o"
+  "CMakeFiles/upc780_sim.dir/experiment.cc.o.d"
+  "libupc780_sim.a"
+  "libupc780_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucode/controlstore.cc" "src/ucode/CMakeFiles/upc780_ucode.dir/controlstore.cc.o" "gcc" "src/ucode/CMakeFiles/upc780_ucode.dir/controlstore.cc.o.d"
+  "/root/repo/src/ucode/microprogram.cc" "src/ucode/CMakeFiles/upc780_ucode.dir/microprogram.cc.o" "gcc" "src/ucode/CMakeFiles/upc780_ucode.dir/microprogram.cc.o.d"
+  "/root/repo/src/ucode/uasm.cc" "src/ucode/CMakeFiles/upc780_ucode.dir/uasm.cc.o" "gcc" "src/ucode/CMakeFiles/upc780_ucode.dir/uasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upc780_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/upc780_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_ucode.dir/controlstore.cc.o"
+  "CMakeFiles/upc780_ucode.dir/controlstore.cc.o.d"
+  "CMakeFiles/upc780_ucode.dir/microprogram.cc.o"
+  "CMakeFiles/upc780_ucode.dir/microprogram.cc.o.d"
+  "CMakeFiles/upc780_ucode.dir/uasm.cc.o"
+  "CMakeFiles/upc780_ucode.dir/uasm.cc.o.d"
+  "libupc780_ucode.a"
+  "libupc780_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_upc.dir/analyzer.cc.o"
+  "CMakeFiles/upc780_upc.dir/analyzer.cc.o.d"
+  "CMakeFiles/upc780_upc.dir/histogram.cc.o"
+  "CMakeFiles/upc780_upc.dir/histogram.cc.o.d"
+  "CMakeFiles/upc780_upc.dir/monitor.cc.o"
+  "CMakeFiles/upc780_upc.dir/monitor.cc.o.d"
+  "CMakeFiles/upc780_upc.dir/report.cc.o"
+  "CMakeFiles/upc780_upc.dir/report.cc.o.d"
+  "libupc780_upc.a"
+  "libupc780_upc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc780_workload.dir/codegen.cc.o"
+  "CMakeFiles/upc780_workload.dir/codegen.cc.o.d"
+  "CMakeFiles/upc780_workload.dir/profile.cc.o"
+  "CMakeFiles/upc780_workload.dir/profile.cc.o.d"
+  "libupc780_workload.a"
+  "libupc780_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc780_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

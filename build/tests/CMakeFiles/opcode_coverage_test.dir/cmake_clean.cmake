@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcode_coverage_test.dir/opcode_coverage_test.cc.o"
+  "CMakeFiles/opcode_coverage_test.dir/opcode_coverage_test.cc.o.d"
+  "opcode_coverage_test"
+  "opcode_coverage_test.pdb"
+  "opcode_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcode_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

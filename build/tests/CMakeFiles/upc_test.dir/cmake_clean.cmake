@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc_test.dir/upc_test.cc.o"
+  "CMakeFiles/upc_test.dir/upc_test.cc.o.d"
+  "upc_test"
+  "upc_test.pdb"
+  "upc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
