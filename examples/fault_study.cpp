@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fault-rate sweep: the measured machines were live timesharing
+ * systems that rode through correctable memory errors while the UPC
+ * board watched. This example sweeps the single-bit ECC rate (with a
+ * light mix of SBI timeouts and TB parity faults) and shows what the
+ * recovery machinery costs in CPI — and that the measurement itself
+ * stays internally consistent (the cycle-accounting audit is on).
+ *
+ * Usage: fault_study [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "upc/analyzer.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t instructions =
+        argc > 1 ? strtoull(argv[1], nullptr, 0) : 60000;
+
+    std::printf("Memory-fault rate vs. recovery cost "
+                "(timesharing-1 workload)\n\n");
+    std::printf("%-14s %9s %9s %9s %7s %10s\n", "ECC rate/fill",
+                "injected", "mchecks", "corrected", "killed", "CPI");
+
+    for (double rate : {0.0, 1e-4, 1e-3, 1e-2}) {
+        sim::ExperimentConfig cfg;
+        cfg.instructionsPerWorkload = instructions;
+        cfg.warmupInstructions = instructions / 6;
+        cfg.fault.memEccSingleRate = rate;
+        if (rate > 0) {
+            cfg.fault.sbiTimeoutRate = rate / 10;
+            cfg.fault.tbParityRate = rate / 10;
+        }
+        sim::ExperimentRunner runner(cfg);
+        auto r = runner.runWorkload(wkl::timesharing1Profile());
+        upc::HistogramAnalyzer an(r.histogram,
+                                  ucode::microcodeImage());
+        std::printf("%-14.0e %9llu %9llu %9llu %7llu %10.2f\n", rate,
+                    static_cast<unsigned long long>(
+                        r.faultStats.total()),
+                    static_cast<unsigned long long>(
+                        r.osStats.machineChecks),
+                    static_cast<unsigned long long>(
+                        r.osStats.faultsCorrected),
+                    static_cast<unsigned long long>(
+                        r.osStats.processesTerminated),
+                    an.cpi());
+    }
+
+    std::printf("\nEvery fault is logged and survived: the machine-"
+                "check handler corrects and resumes, and the extra "
+                "kernel cycles surface as a slowly rising CPI.\n");
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "arch/assembler.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace upc780::arch
@@ -9,7 +10,7 @@ Operand
 Operand::lit(uint8_t v)
 {
     if (v > 63)
-        fatal("short literal %u out of range", v);
+        sim_throw(ConfigError, "short literal %u out of range", v);
     Operand o;
     o.mode_ = AddrMode::Literal;
     o.literal_ = v;
@@ -116,7 +117,7 @@ Operand::indexed(unsigned rx) const
 {
     if (mode_ == AddrMode::Literal || mode_ == AddrMode::Register ||
         mode_ == AddrMode::Immediate) {
-        fatal("addressing mode cannot be indexed");
+        sim_throw(ConfigError, "addressing mode cannot be indexed");
     }
     Operand o = *this;
     o.indexed_ = true;
@@ -246,13 +247,13 @@ Assembler::emitOperand(const Operand &o, const OperandSpec &spec)
         switch (w) {
           case DispWidth::Byte:
             if (o.disp_ < -128 || o.disp_ > 127)
-                fatal("byte displacement %d out of range", o.disp_);
+                sim_throw(ConfigError, "byte displacement %d out of range", o.disp_);
             db(static_cast<uint8_t>((deferred ? 0xB0 : 0xA0) | o.reg_));
             db(static_cast<uint8_t>(o.disp_));
             break;
           case DispWidth::Word:
             if (o.disp_ < -32768 || o.disp_ > 32767)
-                fatal("word displacement %d out of range", o.disp_);
+                sim_throw(ConfigError, "word displacement %d out of range", o.disp_);
             db(static_cast<uint8_t>((deferred ? 0xD0 : 0xC0) | o.reg_));
             dw(static_cast<uint16_t>(o.disp_));
             break;
@@ -279,7 +280,7 @@ Assembler::emitOperand(const Operand &o, const OperandSpec &spec)
         break;
       case AddrMode::AutoIncr:
         if (o.reg_ == reg::PC)
-            fatal("autoincrement of PC: use Operand::imm");
+            sim_throw(ConfigError, "autoincrement of PC: use Operand::imm");
         db(static_cast<uint8_t>(0x80 | o.reg_));
         break;
       case AddrMode::Immediate: {
@@ -291,7 +292,7 @@ Assembler::emitOperand(const Operand &o, const OperandSpec &spec)
       }
       case AddrMode::AutoIncrDeferred:
         if (o.reg_ == reg::PC)
-            fatal("autoincrement-deferred of PC: use Operand::abs");
+            sim_throw(ConfigError, "autoincrement-deferred of PC: use Operand::abs");
         db(static_cast<uint8_t>(0x90 | o.reg_));
         break;
       case AddrMode::Absolute:
@@ -324,11 +325,11 @@ Assembler::emitInstr(Op op, const std::vector<Operand> &ops,
         }
     }
     if (ops.size() != ndata)
-        fatal("%.*s expects %u data operands, got %zu",
+        sim_throw(ConfigError, "%.*s expects %u data operands, got %zu",
               int(info.mnemonic.size()), info.mnemonic.data(), ndata,
               ops.size());
     if (has_branch != (target != nullptr))
-        fatal("%.*s branch-target mismatch",
+        sim_throw(ConfigError, "%.*s branch-target mismatch",
               int(info.mnemonic.size()), info.mnemonic.data());
 
     db(static_cast<uint8_t>(op));
@@ -388,7 +389,7 @@ Assembler::emitCase(Op op, std::initializer_list<Operand> ops,
     if (info.pcClass != PcClass::Case)
         panic("emitCase on non-CASE opcode");
     if (targets.empty())
-        fatal("CASE with empty displacement table");
+        sim_throw(ConfigError, "CASE with empty displacement table");
 
     emitInstr(op, std::vector<Operand>(ops), nullptr);
 
@@ -413,17 +414,17 @@ Assembler::finish()
         return bytes_;
     for (const Fixup &f : fixups_) {
         if (f.label >= labelAddrs_.size() || labelAddrs_[f.label] == ~0u)
-            fatal("unbound label %u in assembly", f.label);
+            sim_throw(ConfigError, "unbound label %u in assembly", f.label);
         int64_t delta = static_cast<int64_t>(labelAddrs_[f.label]) -
                         static_cast<int64_t>(f.pcAfter);
         if (f.width == 1) {
             if (delta < -128 || delta > 127)
-                fatal("byte branch displacement %lld out of range",
+                sim_throw(ConfigError, "byte branch displacement %lld out of range",
                       static_cast<long long>(delta));
             bytes_[f.offset] = static_cast<uint8_t>(delta);
         } else if (f.width == 2) {
             if (delta < -32768 || delta > 32767)
-                fatal("word branch displacement %lld out of range",
+                sim_throw(ConfigError, "word branch displacement %lld out of range",
                       static_cast<long long>(delta));
             bytes_[f.offset] = static_cast<uint8_t>(delta);
             bytes_[f.offset + 1] = static_cast<uint8_t>(delta >> 8);

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * The original gem5-style convention (see logging.hh) killed the whole
+ * process for every unexpected condition. That is the right call for
+ * panic() — an internal simulator bug — but it made a multi-workload
+ * experiment as fragile as its most fragile workload. The measured
+ * VAX-11/780 rode through correctable faults via its machine-check
+ * microcode; the harness should be at least that robust. User-input
+ * and guest-program errors therefore throw a SimError subclass, which
+ * the composite experiment runner catches per workload so one failure
+ * yields a partial-result report instead of a dead process.
+ *
+ *  - ConfigError:   bad user configuration or malformed workload setup
+ *                   (what fatal() used to cover).
+ *  - GuestError:    the simulated program did something the model does
+ *                   not support (undefined opcode, unmapped VA).
+ *  - WatchdogError: the simulation watchdog detected no forward
+ *                   progress (livelock, stuck stall, runaway interval).
+ *  - AuditError:    a runtime accounting invariant failed (e.g. the
+ *                   histogram no longer sums to the monitored cycles).
+ *
+ * panic() remains an abort: an invariant violation inside the
+ * simulator itself is not recoverable by policy.
+ */
+
+#ifndef UPC780_COMMON_ERROR_HH
+#define UPC780_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace upc780
+{
+
+/** Base class of all recoverable simulation errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Unusable user configuration or malformed workload input. */
+class ConfigError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** The simulated program exercised unsupported behaviour. */
+class GuestError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** The watchdog detected no forward progress. */
+class WatchdogError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** A runtime accounting invariant failed. */
+class AuditError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+} // namespace upc780
+
+/** Throw a SimError subclass with a printf-formatted message. */
+#define sim_throw(Type, ...) \
+    throw Type(::upc780::detail::vformat(__VA_ARGS__))
+
+#endif // UPC780_COMMON_ERROR_HH

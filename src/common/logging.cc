@@ -41,15 +41,62 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::exit(1);
 }
 
+namespace
+{
+
+LogLevel
+parseLogLevel()
+{
+    const char *env = std::getenv("UPC780_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Info;
+    std::string v(env);
+    if (v == "quiet" || v == "error" || v == "0")
+        return LogLevel::Quiet;
+    if (v == "warn" || v == "1")
+        return LogLevel::Warn;
+    if (v == "info" || v == "2")
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: unrecognized UPC780_LOG_LEVEL '%s'; using info\n",
+                 env);
+    return LogLevel::Info;
+}
+
+LogLevel currentLevel = LogLevel::Info;
+bool levelLoaded = false;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    if (!levelLoaded) {
+        currentLevel = parseLogLevel();
+        levelLoaded = true;
+    }
+    return currentLevel;
+}
+
+void
+reloadLogLevel()
+{
+    levelLoaded = false;
+}
+
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -9,6 +9,12 @@
  *              (bad configuration, invalid workload). Exits with code 1.
  *  - warn():   something is modeled approximately; simulation continues.
  *  - inform(): normal operating status.
+ *
+ * All diagnostics go to stderr, never stdout: stdout is reserved for
+ * the tables and histograms the examples print, so simulator output
+ * stays machine-parseable. The UPC780_LOG_LEVEL environment variable
+ * filters warn/inform: "quiet"/"error"/0 silences both, "warn"/1
+ * keeps warnings only, "info"/2 (the default) keeps everything.
  */
 
 #ifndef UPC780_COMMON_LOGGING_HH
@@ -35,6 +41,20 @@ std::string vformat(const char *fmt, ...)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/** Verbosity tiers selected by UPC780_LOG_LEVEL. */
+enum class LogLevel
+{
+    Quiet, //!< fatal/panic only
+    Warn,  //!< + warn()
+    Info,  //!< + inform() (default)
+};
+
+/** The active level (parses UPC780_LOG_LEVEL on first use). */
+LogLevel logLevel();
+
+/** Re-read UPC780_LOG_LEVEL (tests that setenv mid-process). */
+void reloadLogLevel();
 
 } // namespace detail
 

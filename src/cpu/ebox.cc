@@ -1,7 +1,9 @@
 #include "cpu/ebox.hh"
 
 #include "common/bitfield.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace upc780::cpu
 {
@@ -35,6 +37,9 @@ Ebox::reset(VAddr pc, bool map_enabled)
     trapKind_ = TrapKind::None;
     trapEntryPending_ = false;
     idxTailPending_ = false;
+    mcheckQueue_.clear();
+    mcheckCode_ = 0;
+    csRetried_ = false;
 }
 
 void
@@ -96,6 +101,15 @@ Ebox::cycle(uint64_t now)
 CycleOut
 Ebox::runCycle(uint64_t now)
 {
+    // Control-store parity error on this word's fetch: the 780's
+    // hardware re-fetched the word, costing one abort cycle. A word
+    // is retried at most once so injection cannot wedge the machine.
+    if (fault_ && !csRetried_ && fault_->onCsFetch()) {
+        csRetried_ = true;
+        return {img_.marks.abort, false, false};
+    }
+    csRetried_ = false;
+
     const MicroOp &op = img_.ops[upc_];
 
     // 1. I-Decode requirement: insufficient bytes is an IB stall cycle
@@ -208,7 +222,7 @@ Ebox::consumeIb(const MicroOp &op)
         pc_ += 1;
         curInfo_ = &opcodeInfo(curOp_);
         if (!curInfo_->valid())
-            fatal("undefined opcode 0x%02x at pc 0x%08x", curOp_,
+            sim_throw(GuestError, "undefined opcode 0x%02x at pc 0x%08x", curOp_,
                   pc_ - 1);
         // Reset per-instruction state.
         phase_ = Phase::PreSpecs;
@@ -405,7 +419,7 @@ Ebox::trySpecDispatch()
         scan_ = 0;
         UAddr e = img_.execEntry[curOp_];
         if (e == 0)
-            fatal("no execute microcode for opcode 0x%02x", curOp_);
+            sim_throw(GuestError, "no execute microcode for opcode 0x%02x", curOp_);
         // Register-operand fast paths: decode dispatch selects the
         // variant without memory write-back / field references.
         UAddr alt = img_.execEntryRegAlt[curOp_];
@@ -477,7 +491,7 @@ Ebox::dispatchSpecifier(unsigned i)
       case 7:
         break;
       case 4:
-        fatal("index prefix on index prefix at pc 0x%08x", pc_);
+        sim_throw(GuestError, "index prefix on index prefix at pc 0x%08x", pc_);
       case 8:
         if (rn == reg::PC) {
             extra = curSize_ > 4 ? 4 : curSize_;
@@ -512,7 +526,7 @@ Ebox::dispatchSpecifier(unsigned i)
     uint32_t got = decodeSpecifier(
         {buf, enc_len}, imm_quad ? DataType::Long : curType_, ds);
     if (got != enc_len)
-        fatal("specifier decode mismatch at pc 0x%08x (%u vs %u)", pc_,
+        sim_throw(GuestError, "specifier decode mismatch at pc 0x%08x (%u vs %u)", pc_,
               got, enc_len);
 
     curSpec_ = ds;
@@ -529,13 +543,13 @@ Ebox::dispatchSpecifier(unsigned i)
         if (curAccess_ == Access::Field)
             return img_.regFieldRoutine[f];
         if (curAccess_ == Access::Address)
-            fatal("register mode with address access at pc 0x%08x", pc_);
+            sim_throw(GuestError, "register mode with address access at pc 0x%08x", pc_);
         return img_.specRoutine[f][size_t(SpecMode::Reg)]
                                 [size_t(accessBucketFor(curAccess_))];
     }
     if (ds.mode == AddrMode::Literal || ds.mode == AddrMode::Immediate) {
         if (curAccess_ != Access::Read)
-            fatal("literal/immediate with non-read access at pc 0x%08x",
+            sim_throw(GuestError, "literal/immediate with non-read access at pc 0x%08x",
                   pc_);
         if (imm_quad)
             return img_.immQuadRoutine[f];
@@ -550,6 +564,18 @@ UAddr
 Ebox::endInstruction()
 {
     uint32_t cur_ipl = (psl_ >> psl::IplShift) & 0x1f;
+
+    // Machine checks outrank every interrupt. Hold delivery while a
+    // handler already runs at IPL 31 so bursts drain one frame at a
+    // time as each REI lowers IPL.
+    if (!mcheckQueue_.empty() && cur_ipl < 31) {
+        mcheckCode_ = mcheckQueue_.front();
+        mcheckQueue_.pop_front();
+        intVector_ = McheckScbVector;
+        intIpl_ = 31;
+        ++mchecksDelivered_;
+        return img_.marks.machineCheck;
+    }
 
     uint32_t best_level = 0, best_vector = 0;
     bool hw = false;
@@ -686,6 +712,10 @@ Ebox::dpPre(const MicroOp &op)
         taddr_ = gpr_[reg::SP] - 4;
         mdr_ = pc_;
         return true;
+      case Dp::McheckPushCode:
+        taddr_ = gpr_[reg::SP] - 4;
+        mdr_ = mcheckCode_;
+        return true;
       case Dp::IntVector:
         taddr_ = prRegs_[mmu::pr::SCBB] + 4 * intVector_;
         return true;
@@ -728,6 +758,7 @@ Ebox::dpPost(const MicroOp &op)
         return;
       }
       case Dp::IntPushPc:
+      case Dp::McheckPushCode:
         gpr_[reg::SP] = taddr_;
         return;
       case Dp::IntVector:
@@ -877,7 +908,7 @@ Ebox::dpAll(const MicroOp &op)
             bool is_phys = false;
             auto a = mmu::pteAddress(map_, missVa_, is_phys);
             if (!a)
-                fatal("translation of unmapped VA 0x%08x "
+                sim_throw(GuestError, "translation of unmapped VA 0x%08x "
                       "(pc 0x%08x, opcode 0x%02x, p0lr %u)",
                       missVa_, pc_, curOp_, map_.p0lr);
             if (is_phys) {
@@ -915,7 +946,7 @@ Ebox::dpAll(const MicroOp &op)
       case Dp::TbFill: {
         uint32_t entry = static_cast<uint32_t>(mdr_);
         if (!mmu::pte::valid(entry))
-            fatal("invalid PTE for VA 0x%08x (page faults unsupported)",
+            sim_throw(GuestError, "invalid PTE for VA 0x%08x (page faults unsupported)",
                   op.arg == 0 ? missVa_ : pteVa_);
         tb_.fill(op.arg == 0 ? missVa_ : pteVa_, mmu::pte::pfn(entry));
         return;
@@ -949,7 +980,7 @@ void
 Ebox::writePr(uint32_t idx, uint32_t val)
 {
     if (idx >= mmu::pr::NumRegs)
-        fatal("MTPR to undefined processor register %u", idx);
+        sim_throw(GuestError, "MTPR to undefined processor register %u", idx);
     using namespace mmu::pr;
     switch (idx) {
       case TBIA:
@@ -1003,7 +1034,7 @@ uint32_t
 Ebox::readPr(uint32_t idx) const
 {
     if (idx >= mmu::pr::NumRegs)
-        fatal("MFPR from undefined processor register %u", idx);
+        sim_throw(GuestError, "MFPR from undefined processor register %u", idx);
     return prRegs_[idx];
 }
 
@@ -1017,7 +1048,7 @@ Ebox::backdoorRead(VAddr va, uint32_t n) const
     for (uint32_t i = 0; i < n; ++i) {
         auto pa = mmu::walk(memsys_.memory(), map_, va + i);
         if (!pa)
-            fatal("backdoor read of unmapped VA 0x%08x", va + i);
+            sim_throw(GuestError, "backdoor read of unmapped VA 0x%08x", va + i);
         v |= static_cast<uint64_t>(memsys_.memory().readByte(*pa))
              << (8 * i);
     }
@@ -1034,7 +1065,7 @@ Ebox::backdoorWrite(VAddr va, uint32_t n, uint64_t v)
     for (uint32_t i = 0; i < n; ++i) {
         auto pa = mmu::walk(memsys_.memory(), map_, va + i);
         if (!pa)
-            fatal("backdoor write of unmapped VA 0x%08x", va + i);
+            sim_throw(GuestError, "backdoor write of unmapped VA 0x%08x", va + i);
         memsys_.memory().writeByte(*pa, static_cast<uint8_t>(v >> (8 * i)));
     }
 }

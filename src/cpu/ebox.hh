@@ -18,6 +18,7 @@
 #define UPC780_CPU_EBOX_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -31,10 +32,18 @@
 #include "mmu/tb.hh"
 #include "ucode/controlstore.hh"
 
+namespace upc780::fault
+{
+class FaultInjector;
+}
+
 namespace upc780::cpu
 {
 
 using arch::VAddr;
+
+/** Architectural SCB index of the machine-check vector. */
+constexpr uint32_t McheckScbVector = 1;
 
 /** One machine cycle as seen by a hardware monitor probe. */
 struct CycleOut
@@ -94,6 +103,30 @@ class Ebox
     uint64_t instructions() const { return instructions_; }
 
     void setInterruptController(InterruptController *c) { intCtrl_ = c; }
+
+    /**
+     * Attach a fault injector: microinstruction fetches may then see
+     * control-store parity errors, each costing one ABORT-row cycle
+     * while the word is re-fetched (the 780 retried CS parity errors
+     * in hardware). Null disables injection.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
+    /**
+     * Queue a machine check with the given code (fault::mcheckCode).
+     * Delivered at the next instruction boundary through the dedicated
+     * machine-check microcode flow and SCB vector 1, ahead of any
+     * pending interrupt. Deliveries nest only after the current
+     * handler lowers IPL below 31 (REI), so a burst of faults cannot
+     * recurse unboundedly on the interrupt stack.
+     */
+    void raiseMachineCheck(uint32_t code) { mcheckQueue_.push_back(code); }
+
+    /** Code of the machine check currently being dispatched. */
+    uint32_t machineCheckCode() const { return mcheckCode_; }
+
+    /** Machine checks delivered to the SCB vector so far. */
+    uint64_t machineChecksDelivered() const { return mchecksDelivered_; }
 
     /**
      * Enable the real 780's RMODE decode optimization: the I-Decode
@@ -262,6 +295,14 @@ class Ebox
     uint32_t intIpl_ = 0;
     uint32_t intHandler_ = 0;
     bool intUseIstack_ = true;
+
+    // Machine-check state. Codes queue until an instruction boundary;
+    // dispatch latches the code for Dp::McheckPushCode.
+    fault::FaultInjector *fault_ = nullptr;
+    std::deque<uint32_t> mcheckQueue_;
+    uint32_t mcheckCode_ = 0;
+    uint64_t mchecksDelivered_ = 0;
+    bool csRetried_ = false;  //!< current word already re-fetched once
 
     // ----- current instruction state ------------------------------------------
     uint8_t curOp_ = 0;

@@ -19,6 +19,7 @@
 #include <cstring>
 
 #include "common/bitfield.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "cpu/ebox.hh"
 #include "cpu/vaxfloat.hh"
@@ -1037,7 +1038,7 @@ Ebox::execFieldOp()
     uint32_t size =
         bit_branch ? 1 : static_cast<uint32_t>(opnd_[size_i].value & 0xff);
     if (size > 32)
-        fatal("bit field wider than 32 bits at pc 0x%08x", pc_);
+        sim_throw(GuestError, "bit field wider than 32 bits at pc 0x%08x", pc_);
 
     const Opnd &base = opnd_[base_i];
     uint64_t field = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
+
 namespace upc780::cpu
 {
 
@@ -21,6 +23,15 @@ const ucode::MicrocodeImage &
 Vax780::microcode() const
 {
     return ebox_.image();
+}
+
+void
+Vax780::attachFaultInjector(fault::FaultInjector *inj)
+{
+    fault_ = inj;
+    memsys_.setFaultInjector(inj);
+    tb_.setFaultInjector(inj);
+    ebox_.setFaultInjector(inj);
 }
 
 void
@@ -63,6 +74,14 @@ Vax780::acknowledge(uint32_t level)
 bool
 Vax780::tick()
 {
+    if (fault_) {
+        fault_->setNow(cycles_);
+        // Fault events detected by the memory/TB/CS hardware raise
+        // machine checks, delivered at the next instruction boundary.
+        while (fault_->mcheckPending())
+            ebox_.raiseMachineCheck(fault_->takeMcheck());
+    }
+
     // Deliver any I-stream fill that completed.
     ibox_.deliver(cycles_);
 

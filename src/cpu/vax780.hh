@@ -87,6 +87,15 @@ class Vax780 : public InterruptController
     /** Register an interrupting device. */
     void addDevice(Device *d) { devices_.push_back(d); }
 
+    /**
+     * Attach a fault injector to every fault site of the machine
+     * (memory ECC, SBI timeouts, TB parity, control-store parity) and
+     * route its machine-check events to the EBOX. Pass null to detach;
+     * a detached machine is cycle-for-cycle identical to one that
+     * never had an injector.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
+
     // InterruptController (aggregates devices for the EBOX).
     bool highestPending(uint32_t &level, uint32_t &vector) override;
     void acknowledge(uint32_t level) override;
@@ -99,6 +108,7 @@ class Vax780 : public InterruptController
 
     std::vector<CycleProbe *> probes_;
     std::vector<Device *> devices_;
+    fault::FaultInjector *fault_ = nullptr;
     uint64_t cycles_ = 0;
 };
 

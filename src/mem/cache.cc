@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/bitfield.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace upc780::mem
@@ -11,10 +12,10 @@ Cache::Cache(const CacheConfig &config, uint64_t seed)
 {
     if (!isPow2(config_.sizeBytes) || !isPow2(config_.blockBytes) ||
         config_.ways == 0) {
-        fatal("cache geometry must be power-of-two sized");
+        sim_throw(ConfigError, "cache geometry must be power-of-two sized");
     }
     if (config_.sizeBytes % (config_.blockBytes * config_.ways) != 0)
-        fatal("cache size not divisible by way size");
+        sim_throw(ConfigError, "cache size not divisible by way size");
     numSets_ = config_.sizeBytes / (config_.blockBytes * config_.ways);
     blockShift_ = static_cast<uint32_t>(log2i(config_.blockBytes));
     lines_.resize(static_cast<size_t>(numSets_) * config_.ways);

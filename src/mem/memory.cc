@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace upc780::mem
 {
@@ -11,7 +13,15 @@ PhysicalMemory::PhysicalMemory(uint32_t size_bytes)
     : data_(size_bytes, 0)
 {
     if (size_bytes == 0)
-        fatal("physical memory size must be nonzero");
+        sim_throw(ConfigError, "physical memory size must be nonzero");
+}
+
+void
+PhysicalMemory::fillCheck(PAddr pa)
+{
+    check(pa, 4);
+    if (fault_)
+        fault_->onMemoryFill(pa);
 }
 
 void

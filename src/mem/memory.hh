@@ -12,6 +12,11 @@
 
 #include "arch/types.hh"
 
+namespace upc780::fault
+{
+class FaultInjector;
+}
+
 namespace upc780::mem
 {
 
@@ -42,10 +47,27 @@ class PhysicalMemory
     /** Zero a block. */
     void clear(PAddr pa, uint32_t n);
 
+    /**
+     * Attach a fault injector: timed miss fills pass through the ECC
+     * model (fillCheck). Null (the default) disables injection.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
+    /**
+     * ECC check on the main-memory fetch of the fill longword at
+     * @p pa. Called only on the timed cache-miss path; backdoor and
+     * image-loading accesses never see faults. A single-bit error is
+     * corrected in flight (the returned data is always good), a
+     * double-bit error is flagged uncorrectable — either way the
+     * injector queues a machine check for the CPU to take.
+     */
+    void fillCheck(PAddr pa);
+
   private:
     void check(PAddr pa, uint32_t n) const;
 
     std::vector<uint8_t> data_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace upc780::mem

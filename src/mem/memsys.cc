@@ -14,6 +14,13 @@ MemorySubsystem::MemorySubsystem(const MemSysConfig &config)
 {
 }
 
+void
+MemorySubsystem::setFaultInjector(fault::FaultInjector *inj)
+{
+    memory_.setFaultInjector(inj);
+    sbi_.setFaultInjector(inj);
+}
+
 uint32_t
 MemorySubsystem::readRef(PAddr pa, uint64_t now, bool istream, bool &miss)
 {
@@ -22,6 +29,8 @@ MemorySubsystem::readRef(PAddr pa, uint64_t now, bool istream, bool &miss)
     }
     miss = true;
     uint64_t ready = sbi_.startRead(now);
+    // The fill longword crosses the ECC-checked main-memory array.
+    memory_.fillCheck(alignDown(pa, 4));
     return static_cast<uint32_t>(ready - now);
 }
 

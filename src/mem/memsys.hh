@@ -26,6 +26,11 @@
 #include "mem/sbi.hh"
 #include "mem/writebuffer.hh"
 
+namespace upc780::fault
+{
+class FaultInjector;
+}
+
 namespace upc780::mem
 {
 
@@ -77,6 +82,12 @@ class MemorySubsystem
 
     /** Invalidate the cache (power-up or diagnostic). */
     void flushCache() { cache_.invalidateAll(); }
+
+    /**
+     * Attach a fault injector to the memory side (main-memory ECC on
+     * miss fills, SBI timeouts). Null disables injection.
+     */
+    void setFaultInjector(fault::FaultInjector *inj);
 
     /** Unaligned D-stream references observed (paper §3.3.1). */
     uint64_t unalignedRefs() const { return unaligned_.value(); }

@@ -1,11 +1,22 @@
 #include "mem/sbi.hh"
 
+#include "fault/fault.hh"
+
 namespace upc780::mem
 {
 
 uint64_t
 Sbi::start(uint64_t now, uint32_t latency)
 {
+    if (fault_) {
+        // A timed-out transaction holds the path for the timeout
+        // period before the (always successful) hardware retry.
+        uint32_t penalty = fault_->onSbiTransaction();
+        if (penalty > 0) {
+            latency += penalty;
+            ++stats_.timeouts;
+        }
+    }
     uint64_t begin = now;
     if (busyUntil_ > now) {
         stats_.contentionCycles += busyUntil_ - now;

@@ -13,6 +13,11 @@
 
 #include "common/stats.hh"
 
+namespace upc780::fault
+{
+class FaultInjector;
+}
+
 namespace upc780::mem
 {
 
@@ -31,6 +36,7 @@ struct SbiStats
     upc780::Counter readTransactions;
     upc780::Counter writeTransactions;
     upc780::Counter contentionCycles;  //!< cycles spent queued
+    upc780::Counter timeouts;          //!< injected no-response faults
 };
 
 /** Single-path bus occupancy tracker. */
@@ -57,6 +63,13 @@ class Sbi
     /** Cycle until which the path is occupied. */
     uint64_t busyUntil() const { return busyUntil_; }
 
+    /**
+     * Attach a fault injector: transactions may then time out and
+     * occupy the path for the configured penalty while the retry
+     * completes. Null (the default) disables injection.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
     const SbiConfig &config() const { return config_; }
     const SbiStats &stats() const { return stats_; }
 
@@ -66,6 +79,7 @@ class Sbi
     SbiConfig config_;
     uint64_t busyUntil_ = 0;
     SbiStats stats_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace upc780::mem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "mem/sbi.hh"
 
@@ -12,7 +13,7 @@ WriteBuffer::WriteBuffer(Sbi &sbi, uint32_t depth)
     : sbi_(sbi), depth_(depth)
 {
     if (depth_ == 0)
-        fatal("write buffer depth must be at least 1");
+        sim_throw(ConfigError, "write buffer depth must be at least 1");
     inflight_.assign(depth_, 0);
 }
 

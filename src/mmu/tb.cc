@@ -1,7 +1,9 @@
 #include "mmu/tb.hh"
 
 #include "common/bitfield.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace upc780::mmu
 {
@@ -10,7 +12,7 @@ TranslationBuffer::TranslationBuffer(const TbConfig &config)
     : config_(config)
 {
     if (!isPow2(config_.entriesPerHalf))
-        fatal("TB half size must be a power of two");
+        sim_throw(ConfigError, "TB half size must be a power of two");
     entries_.resize(2u * config_.entriesPerHalf);
 }
 
@@ -37,10 +39,18 @@ TranslationBuffer::lookup(VAddr va, bool istream, PAddr &pa)
 
     uint32_t half, set, tag;
     locate(va, half, set, tag);
-    const Entry &e = entries_[half * config_.entriesPerHalf + set];
+    Entry &e = entries_[half * config_.entriesPerHalf + set];
     if (config_.enabled && e.valid && e.tag == tag) {
-        pa = (e.pfn << PageShift) | (va & (PageBytes - 1));
-        return true;
+        if (fault_ && fault_->onTbLookup()) {
+            // Parity error on the matching entry: discard it and take
+            // the miss path, so the microcode refill provides the
+            // realistic recovery timing.
+            e.valid = false;
+            ++stats_.parityInvalidates;
+        } else {
+            pa = (e.pfn << PageShift) | (va & (PageBytes - 1));
+            return true;
+        }
     }
 
     if (istream)

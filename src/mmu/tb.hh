@@ -21,6 +21,11 @@
 #include "common/stats.hh"
 #include "mmu/pagetable.hh"
 
+namespace upc780::fault
+{
+class FaultInjector;
+}
+
 namespace upc780::mmu
 {
 
@@ -41,6 +46,7 @@ struct TbStats
     upc780::Counter fills;
     upc780::Counter processFlushes;
     upc780::Counter allFlushes;
+    upc780::Counter parityInvalidates;  //!< injected parity errors
 };
 
 /** The translation buffer proper. */
@@ -72,6 +78,14 @@ class TranslationBuffer
     /** Invalidate a single page (MTPR TBIS). */
     void invalidateSingle(VAddr va);
 
+    /**
+     * Attach a fault injector: valid entries may then suffer parity
+     * errors on lookup, which invalidate the entry and force the miss
+     * microroutine to refill it (the 780's TB-parity recovery path).
+     * Null disables injection.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
     const TbStats &stats() const { return stats_; }
     const TbConfig &config() const { return config_; }
 
@@ -90,6 +104,7 @@ class TranslationBuffer
     TbConfig config_;
     std::vector<Entry> entries_;  //!< [half * entriesPerHalf + set]
     TbStats stats_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace upc780::mmu

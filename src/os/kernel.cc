@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "arch/assembler.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "mmu/pagetable.hh"
 #include "mmu/prreg.hh"
@@ -24,7 +25,7 @@ int
 VmsLite::addProcess(const ProcessImage &image)
 {
     if (booted_)
-        fatal("addProcess after boot");
+        sim_throw(ConfigError, "addProcess after boot");
     pendingImages_.push_back(image);
     return static_cast<int>(pendingImages_.size());
 }
@@ -166,6 +167,34 @@ VmsLite::buildKernelCode()
         a.emit(Op::REI, {});
     }
 
+    // ----- machine-check handler (interrupt stack, IPL 31) --------------------
+    // The microcode pushed [code][PC][PSL]; the handler logs the event
+    // and applies the recovery policy through the assist (correctable:
+    // resume; uncorrectable: terminate the afflicted process), then
+    // pops the code and REIs — the paper's machines rode through
+    // these errors the same way.
+    a.align(4);
+    mcheckIsrVa_ = a.pc();
+    {
+        a.emit(Op::PUSHR, {Operand::lit(0x3F)});
+        a.emit(Op::INCL, {Operand::abs(kdata::McheckCount)});
+        // The machine-check code sits above the six saved registers.
+        a.emit(Op::MOVL, {Operand::disp(24, reg::SP), Operand::reg(1)});
+        a.emit(Op::MOVL, {Operand::lit(assist::MachineCheck),
+                          Operand::reg(0)});
+        a.emit(Op::XFC, {});
+        a.emit(Op::POPR, {Operand::lit(0x3F)});
+        a.emit(Op::ADDL2, {Operand::lit(4), Operand::reg(reg::SP)});
+        a.emit(Op::TSTL, {flag});
+        Label done = a.newLabel();
+        a.emitBr(Op::BEQL, done);
+        a.emit(Op::CLRL, {flag});
+        a.emit(Op::MTPR, {Operand::lit(vec::Resched),
+                          Operand::lit(sirr)});
+        a.bind(done);
+        a.emit(Op::REI, {});
+    }
+
     // ----- the Null process --------------------------------------------------
     // "Branch to self, awaiting an interrupt" (paper §2.2).
     a.align(4);
@@ -187,6 +216,7 @@ VmsLite::buildScb()
     auto set_vec = [&](uint32_t v, VAddr handler, bool istack) {
         physWrite(pmap::Scb + 4 * v, 4, handler | (istack ? 1u : 0u));
     };
+    set_vec(vec::MachineCheck, mcheckIsrVa_, true);
     set_vec(vec::Resched, schedIsrVa_, false);
     set_vec(vec::Fork, forkIsrVa_, false);
     set_vec(vec::Terminal, termIsrVa_, true);
@@ -223,12 +253,12 @@ VmsLite::installProcess(int pid, const ProcessImage *image)
         uint32_t img_pages = static_cast<uint32_t>(
             (image->p0Image.size() + PageBytes - 1) / PageBytes);
         if (img_pages > pages)
-            fatal("process image larger than its P0 region");
+            sim_throw(ConfigError, "process image larger than its P0 region");
         p0tbl_pa = tableAlloc_;
         tableAlloc_ += 4 * pages;
         tableAlloc_ = (tableAlloc_ + 63u) & ~63u;
         if (tableAlloc_ > pmap::ProcRegion)
-            fatal("process page-table region exhausted");
+            sim_throw(ConfigError, "process page-table region exhausted");
         for (uint32_t vpn = 0; vpn < pages; ++vpn) {
             uint32_t pfn = (procAlloc_ >> PageShift) + vpn;
             physWrite(p0tbl_pa + 4 * vpn, 4, pte::make(pfn));
@@ -253,7 +283,7 @@ VmsLite::installProcess(int pid, const ProcessImage *image)
         }
         procAlloc_ += stack_pages * PageBytes;
         if (procAlloc_ >= machine_.memsys().memory().size())
-            fatal("physical memory exhausted by process images");
+            sim_throw(ConfigError, "physical memory exhausted by process images");
         p1br = vmap::sysVa(p1tbl_pa) - 4 * first_vpn;
         p1lr = first_vpn;
 
@@ -293,9 +323,9 @@ void
 VmsLite::boot()
 {
     if (booted_)
-        fatal("double boot");
+        sim_throw(ConfigError, "double boot");
     if (pendingImages_.empty())
-        fatal("boot with no processes");
+        sim_throw(ConfigError, "boot with no processes");
     booted_ = true;
 
     buildSystemMap();
@@ -357,11 +387,14 @@ VmsLite::assist(cpu::Ebox &ebox)
       case assist::Syscall:
         onSyscall(ebox, ebox.gpr(1));
         return;
+      case assist::MachineCheck:
+        onMachineCheck(ebox, ebox.gpr(1));
+        return;
       case assist::ForkWork:
         // Fork processing is bookkeeping only in this model.
         return;
       default:
-        fatal("XFC with unknown assist function %u", ebox.gpr(0));
+        sim_throw(GuestError, "XFC with unknown assist function %u", ebox.gpr(0));
     }
 }
 
@@ -426,6 +459,10 @@ VmsLite::onTermEvent(cpu::Ebox &ebox)
     auto pids = terminal_->drainDue();
     bool woke = false;
     for (int pid : pids) {
+        // A process killed by an uncorrectable machine check stays
+        // dead: terminal input due to it is discarded.
+        if (procs_[pid].state != Process::State::Blocked)
+            continue;
         procs_[pid].state = Process::State::Runnable;
         woke = true;
     }
@@ -468,8 +505,48 @@ VmsLite::onSyscall(cpu::Ebox &ebox, uint32_t code)
         requestResched(ebox);
         return;
       default:
-        fatal("unknown system service %u", code);
+        sim_throw(GuestError, "unknown system service %u", code);
     }
+}
+
+void
+VmsLite::onMachineCheck(cpu::Ebox &ebox, uint32_t code)
+{
+    if (!fault::isMcheckCode(code))
+        sim_throw(GuestError, "machine check with bad code 0x%08x", code);
+    fault::FaultKind kind = fault::mcheckKind(code);
+    bool corrected = fault::faultCorrectable(kind);
+    ++stats_.machineChecks;
+    if (errorLog_.size() < MaxErrorLogEntries)
+        errorLog_.push_back({machine_.cycles(), current_, kind, corrected});
+
+    if (corrected) {
+        // The hardware corrected (ECC) or retried (SBI, parity) the
+        // operation; the REI resumes the interrupted process with no
+        // architectural damage.
+        ++stats_.faultsCorrected;
+        return;
+    }
+
+    // Uncorrectable: VMS policy is to terminate the afflicted process,
+    // never the system. A fault caught in system/idle context is
+    // logged only — the Null process has no state worth preserving.
+    Process &cur = procs_[current_];
+    if (!cur.isIdle && cur.state != Process::State::Terminated) {
+        cur.state = Process::State::Terminated;
+        ++stats_.processesTerminated;
+        requestResched(ebox);
+    }
+}
+
+size_t
+VmsLite::liveUserProcesses() const
+{
+    size_t n = 0;
+    for (size_t i = 1; i < procs_.size(); ++i)
+        if (procs_[i].state != Process::State::Terminated)
+            ++n;
+    return n;
 }
 
 } // namespace upc780::os

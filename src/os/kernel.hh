@@ -23,6 +23,7 @@
 
 #include "common/random.hh"
 #include "cpu/vax780.hh"
+#include "fault/fault.hh"
 #include "os/devices.hh"
 #include "os/layout.hh"
 
@@ -58,11 +59,25 @@ struct OsStats
     uint64_t syscalls = 0;
     uint64_t termWrites = 0;
 
+    // Machine-check recovery (paper's machines rode through these).
+    uint64_t machineChecks = 0;        //!< SCB vector 1 deliveries handled
+    uint64_t faultsCorrected = 0;      //!< correctable: logged and resumed
+    uint64_t processesTerminated = 0;  //!< uncorrectable: process killed
+
     uint64_t
     softIntRequests() const
     {
         return reschedRequests + forkRequests;
     }
+};
+
+/** One VMS-style error-log entry written by the machine-check handler. */
+struct ErrorLogEntry
+{
+    uint64_t cycle = 0;            //!< machine cycle of the handler run
+    int pid = 0;                   //!< process scheduled at the time
+    fault::FaultKind kind = fault::FaultKind::MemEccSingle;
+    bool corrected = true;
 };
 
 /** The VMS-lite kernel. */
@@ -97,10 +112,16 @@ class VmsLite
     RteTerminal &terminal() { return *terminal_; }
     size_t numProcesses() const { return procs_.size(); }
 
+    /** Error-log entries recorded by the machine-check handler. */
+    const std::vector<ErrorLogEntry> &errorLog() const { return errorLog_; }
+
+    /** User processes not yet killed by an uncorrectable fault. */
+    size_t liveUserProcesses() const;
+
   private:
     struct Process
     {
-        enum class State : uint8_t { Runnable, Blocked };
+        enum class State : uint8_t { Runnable, Blocked, Terminated };
         State state = State::Runnable;
         bool isIdle = false;
         arch::VAddr pcbVa = 0;
@@ -122,6 +143,7 @@ class VmsLite
     void onTimerTick(cpu::Ebox &ebox);
     void onTermEvent(cpu::Ebox &ebox);
     void onSyscall(cpu::Ebox &ebox, uint32_t code);
+    void onMachineCheck(cpu::Ebox &ebox, uint32_t code);
     void requestResched(cpu::Ebox &ebox);
 
     bool anyRunnableProcess() const;
@@ -146,6 +168,7 @@ class VmsLite
     arch::VAddr schedIsrVa_ = 0;
     arch::VAddr forkIsrVa_ = 0;
     arch::VAddr chmkIsrVa_ = 0;
+    arch::VAddr mcheckIsrVa_ = 0;
     arch::VAddr idleVa_ = 0;
 
     arch::PAddr procAlloc_ = pmap::ProcRegion;
@@ -153,6 +176,9 @@ class VmsLite
     uint64_t tickCount_ = 0;
 
     OsStats stats_;
+    std::vector<ErrorLogEntry> errorLog_;
+    /** Error-log cap, matching VMS's bounded ERRLOG buffers. */
+    static constexpr size_t MaxErrorLogEntries = 4096;
     std::function<void(int, bool)> switchHook_;
     bool booted_ = false;
 };

@@ -60,6 +60,7 @@ constexpr VAddr TickCount = vmap::KernelData + 0x04;
 constexpr VAddr SyscallCount = vmap::KernelData + 0x08;
 constexpr VAddr ForkFlag = vmap::KernelData + 0x0C;
 constexpr VAddr ForkCount = vmap::KernelData + 0x10;
+constexpr VAddr McheckCount = vmap::KernelData + 0x14;
 } // namespace kdata
 
 // ----- PCB format (longword indices) ------------------------------------------
@@ -82,6 +83,8 @@ constexpr uint32_t NumWords = 22;
 // ----- SCB vector numbers (SCB entry = handler VA | use-interrupt-stack) ------
 namespace vec
 {
+/** Architectural machine-check vector (must equal cpu::McheckScbVector). */
+constexpr uint32_t MachineCheck = 1;
 constexpr uint32_t Resched = 3;   //!< software, runs on kernel stack
 constexpr uint32_t Fork = 6;      //!< software fork level (I/O post)
 constexpr uint32_t Terminal = 20; //!< RTE terminal mux (IPL 20)
@@ -107,6 +110,7 @@ constexpr uint32_t TimerTick = 3;
 constexpr uint32_t TermEvent = 4;
 constexpr uint32_t Syscall = 5;
 constexpr uint32_t ForkWork = 6;
+constexpr uint32_t MachineCheck = 7;
 } // namespace assist
 
 } // namespace upc780::os

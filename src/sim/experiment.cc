@@ -1,6 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <memory>
+
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "sim/watchdog.hh"
 #include "ucode/controlstore.hh"
 #include "workload/codegen.hh"
 
@@ -26,6 +30,15 @@ uint64_t
 CompositeResult::instructions() const
 {
     return histogram.count(ucode::microcodeImage().marks.decode);
+}
+
+bool
+CompositeResult::allOk() const
+{
+    for (const WorkloadResult &w : workloads)
+        if (!w.ok)
+            return false;
+    return true;
 }
 
 namespace
@@ -77,11 +90,23 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     cpu::Vax780 machine(cfg_.machine);
     os::VmsLite vms(machine, cfg_.os);
 
+    // Fault injection: only attach an injector when a fault source is
+    // configured, so the default run is bit-identical to one without
+    // the subsystem.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (cfg_.fault.any()) {
+        injector = std::make_unique<fault::FaultInjector>(cfg_.fault);
+        machine.attachFaultInjector(injector.get());
+    }
+
     for (const auto &image : wkl::buildWorkload(profile))
         vms.addProcess(image);
 
     upc::UpcMonitor monitor;
     machine.attachProbe(&monitor);
+
+    Watchdog watchdog(machine.microcode(), cfg_.watchdogIntervalCycles);
+    machine.attachProbe(&watchdog);
 
     // Gate the monitor across context switches so the Null process is
     // excluded from measurement, as the paper's data reduction did.
@@ -107,10 +132,37 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
                                       cfg_.warmupInstructions) +
                                     10000000;
 
+    // Stuck-machine checks: the watchdog is consulted every tick
+    // (O(1)); the process-liveness scan is strided since a fault
+    // campaign can kill the whole population, leaving only the Null
+    // process looping forever.
+    uint64_t liveness_check_at = 0;
+    constexpr uint64_t LivenessStride = 8192;
+    auto check_stuck = [&](const char *where) {
+        if (watchdog.expired()) {
+            sim_throw(WatchdogError, "workload '%s' stuck during %s\n%s",
+                      profile.name.c_str(), where,
+                      watchdog.diagnostic().c_str());
+        }
+        if (machine.cycles() >= liveness_check_at) {
+            liveness_check_at = machine.cycles() + LivenessStride;
+            if (vms.liveUserProcesses() == 0) {
+                sim_throw(GuestError,
+                          "workload '%s': all user processes terminated "
+                          "by uncorrectable faults during %s",
+                          profile.name.c_str(), where);
+            }
+        }
+    };
+
     // Warm-up: run unmeasured.
     while (machine.ebox().instructions() < cfg_.warmupInstructions) {
-        if (!machine.tick() || machine.cycles() > max_cycles)
-            fatal("machine halted or hung during warm-up");
+        if (!machine.tick())
+            sim_throw(GuestError, "machine halted during warm-up");
+        if (machine.cycles() > max_cycles)
+            sim_throw(WatchdogError, "machine hung during warm-up\n%s",
+                      watchdog.diagnostic().c_str());
+        check_stuck("warm-up");
     }
 
     // Measurement interval.
@@ -123,11 +175,15 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     while (monitor.histogram().count(decode_addr) <
            cfg_.instructionsPerWorkload) {
         if (!machine.tick())
-            fatal("machine halted during measurement");
-        if (machine.cycles() - cycles_at_start > max_cycles)
-            fatal("measurement did not reach its instruction budget "
-                  "(%llu cycles elapsed)",
-                  static_cast<unsigned long long>(max_cycles));
+            sim_throw(GuestError, "machine halted during measurement");
+        if (machine.cycles() - cycles_at_start > max_cycles) {
+            sim_throw(WatchdogError,
+                      "measurement did not reach its instruction budget "
+                      "(%llu cycles elapsed)\n%s",
+                      static_cast<unsigned long long>(max_cycles),
+                      watchdog.diagnostic().c_str());
+        }
+        check_stuck("measurement");
     }
     monitor.stop();
 
@@ -139,6 +195,23 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     r.osStats = vms.stats();
     r.timerInterrupts = vms.timer().interrupts();
     r.terminalInterrupts = vms.terminal().interrupts();
+    if (injector)
+        r.faultStats = injector->stats();
+    r.errorLog = vms.errorLog();
+
+    // Cycle-accounting audit: the UPC board increments exactly one
+    // bucket counter per observed cycle, so the bucket sum must equal
+    // the observed-cycle count. A mismatch means the monitor or the
+    // cycle loop lost or double-counted cycles.
+    if (cfg_.auditCycleAccounting && r.histogram.totalCycles() != r.cycles) {
+        sim_throw(AuditError,
+                  "cycle accounting mismatch in workload '%s': histogram "
+                  "holds %llu cycles, monitor observed %llu",
+                  profile.name.c_str(),
+                  static_cast<unsigned long long>(
+                      r.histogram.totalCycles()),
+                  static_cast<unsigned long long>(r.cycles));
+    }
     return r;
 }
 
@@ -148,7 +221,19 @@ ExperimentRunner::runComposite(
 {
     CompositeResult c;
     for (const auto &p : profiles) {
-        WorkloadResult r = runWorkload(p);
+        WorkloadResult r;
+        try {
+            r = runWorkload(p);
+        } catch (const SimError &e) {
+            // Partial results: record the failure and keep going, as
+            // an overnight measurement campaign must.
+            warn("workload '%s' failed: %s", p.name.c_str(), e.what());
+            r.name = p.name;
+            r.ok = false;
+            r.error = e.what();
+            c.workloads.push_back(std::move(r));
+            continue;
+        }
         c.histogram.accumulate(r.histogram);
         c.hw.accumulate(r.hw);
         c.osStats.contextSwitches += r.osStats.contextSwitches;
@@ -156,6 +241,10 @@ ExperimentRunner::runComposite(
         c.osStats.forkRequests += r.osStats.forkRequests;
         c.osStats.syscalls += r.osStats.syscalls;
         c.osStats.termWrites += r.osStats.termWrites;
+        c.osStats.machineChecks += r.osStats.machineChecks;
+        c.osStats.faultsCorrected += r.osStats.faultsCorrected;
+        c.osStats.processesTerminated += r.osStats.processesTerminated;
+        c.faultStats.accumulate(r.faultStats);
         c.timerInterrupts += r.timerInterrupts;
         c.terminalInterrupts += r.terminalInterrupts;
         c.workloads.push_back(std::move(r));

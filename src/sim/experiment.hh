@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cpu/vax780.hh"
+#include "fault/fault.hh"
 #include "os/kernel.hh"
 #include "upc/monitor.hh"
 #include "workload/profile.hh"
@@ -50,6 +51,15 @@ struct WorkloadResult
     os::OsStats osStats;
     uint64_t timerInterrupts = 0;
     uint64_t terminalInterrupts = 0;
+
+    /** Injected-fault counters for the whole run (warm-up included). */
+    fault::FaultStats faultStats;
+    /** Error-log entries the machine-check handler recorded. */
+    std::vector<os::ErrorLogEntry> errorLog;
+
+    /** False if the run was aborted; @ref error says why. */
+    bool ok = true;
+    std::string error;
 };
 
 /** The five-workload composite. */
@@ -59,11 +69,15 @@ struct CompositeResult
     std::vector<WorkloadResult> workloads;
     HwCounters hw;
     os::OsStats osStats;
+    fault::FaultStats faultStats;
     uint64_t timerInterrupts = 0;
     uint64_t terminalInterrupts = 0;
 
     /** Instructions measured (decode-bucket count). */
     uint64_t instructions() const;
+
+    /** True when every workload completed its measurement. */
+    bool allOk() const;
 };
 
 /** Experiment configuration. */
@@ -79,6 +93,28 @@ struct ExperimentConfig
     bool excludeIdle = true;
     /** Hard cycle cap (hang protection). */
     uint64_t maxCycles = 0;  //!< 0: derived from instruction budget
+
+    /**
+     * Fault-injection configuration. With all rates zero and an empty
+     * schedule (the default) no injector is attached and the run is
+     * bit-identical to one without the fault subsystem.
+     */
+    fault::FaultConfig fault;
+
+    /**
+     * Watchdog: cycles without an instruction decode before the run
+     * is declared livelocked (WatchdogError with a diagnostic dump).
+     * Must comfortably exceed the workloads' terminal think times.
+     */
+    uint64_t watchdogIntervalCycles = 2000000;
+
+    /**
+     * Verify after each workload that the histogram's cycle total
+     * equals the cycles the monitor observed (AuditError on mismatch):
+     * the bucket sum *is* the cycle count, by construction of the
+     * board, so a mismatch means lost or double-counted cycles.
+     */
+    bool auditCycleAccounting = true;
 };
 
 /** Runs workloads under a fixed configuration. */
@@ -89,10 +125,21 @@ class ExperimentRunner
         : cfg_(config)
     {}
 
-    /** Run one workload and return its measurement. */
+    /**
+     * Run one workload and return its measurement. Throws a SimError
+     * subclass when the run cannot complete: GuestError (machine
+     * halted or every user process was killed), WatchdogError (no
+     * forward progress; carries the diagnostic dump), or AuditError
+     * (cycle-accounting mismatch).
+     */
     WorkloadResult runWorkload(const wkl::WorkloadProfile &profile);
 
-    /** Run several workloads and sum their histograms. */
+    /**
+     * Run several workloads and sum their histograms. A workload that
+     * fails with a SimError is recorded as a not-ok stub result (name
+     * + error text) and the remaining workloads still run, so a fault
+     * campaign always yields partial results.
+     */
     CompositeResult
     runComposite(const std::vector<wkl::WorkloadProfile> &profiles);
 

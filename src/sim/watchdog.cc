@@ -1,0 +1,74 @@
+#include "sim/watchdog.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace upc780::sim
+{
+
+Watchdog::Watchdog(const ucode::MicrocodeImage &image,
+                   uint64_t interval_cycles, uint64_t max_stall_run)
+    : img_(image), interval_(interval_cycles), maxStallRun_(max_stall_run)
+{
+    if (interval_ == 0 || maxStallRun_ == 0)
+        sim_throw(ConfigError, "watchdog thresholds must be nonzero");
+}
+
+void
+Watchdog::cycle(ucode::UAddr upc, bool stalled)
+{
+    ++cycles_;
+    trace_[traceHead_] = {upc, stalled};
+    traceHead_ = (traceHead_ + 1) % TraceDepth;
+
+    if (stalled) {
+        ++stallRun_;
+    } else {
+        stallRun_ = 0;
+        if (upc == img_.marks.decode) {
+            ++decodes_;
+            cyclesAtLastDecode_ = cycles_;
+        }
+    }
+}
+
+bool
+Watchdog::expired() const
+{
+    if (stallRun_ >= maxStallRun_)
+        return true;
+    return cycles_ - cyclesAtLastDecode_ >= interval_;
+}
+
+std::string
+Watchdog::diagnostic() const
+{
+    const Sample &last =
+        trace_[(traceHead_ + TraceDepth - 1) % TraceDepth];
+
+    std::ostringstream os;
+    os << "watchdog: no forward progress\n"
+       << "  cycles observed:      " << cycles_ << "\n"
+       << "  instruction decodes:  " << decodes_ << "\n"
+       << "  cycles since decode:  " << (cycles_ - cyclesAtLastDecode_)
+       << "\n"
+       << "  consecutive stalls:   " << stallRun_ << "\n"
+       << "  current upc:          0x" << std::hex << last.upc
+       << std::dec << " (" << ucode::rowName(img_.rowOf(last.upc))
+       << (last.stalled ? ", stalled" : "") << ")\n"
+       << "  trailing upc trace (oldest first):\n";
+
+    uint32_t n = cycles_ < TraceDepth ? static_cast<uint32_t>(cycles_)
+                                      : TraceDepth;
+    for (uint32_t i = 0; i < n; ++i) {
+        const Sample &s =
+            trace_[(traceHead_ + TraceDepth - n + i) % TraceDepth];
+        os << "    0x" << std::hex << s.upc << std::dec << "  "
+           << ucode::rowName(img_.rowOf(s.upc))
+           << (s.stalled ? "  [stall]" : "") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace upc780::sim

@@ -152,6 +152,7 @@ dpName(Dp d)
       case Dp::IntPushPsl: return "int.pushpsl";
       case Dp::IntVector: return "int.vector";
       case Dp::IntEnter: return "int.enter";
+      case Dp::McheckPushCode: return "mchk.pushcode";
       case Dp::OsAssist: return "os.assist";
       case Dp::Halt: return "halt";
     }

@@ -116,6 +116,7 @@ struct Landmarks
     UAddr tbMissD = 0;       //!< D-stream TB miss service entry
     UAddr tbMissI = 0;       //!< I-stream TB miss service entry
     UAddr intDispatch = 0;   //!< interrupt/exception dispatch entry
+    UAddr machineCheck = 0;  //!< machine-check dispatch entry
     UAddr halted = 0;        //!< resting place after HALT
 };
 

@@ -24,6 +24,7 @@
 #include "ucode/controlstore.hh"
 
 #include <initializer_list>
+#include <vector>
 
 #include "common/logging.hh"
 #include "ucode/execphase.hh"
@@ -108,6 +109,7 @@ class Builder
     void buildIndexed();
     void buildTbMiss(bool istream, UAddr &entry_out);
     void buildIntDispatch();
+    void buildMcheckDispatch();
     void buildExec();
 
     UAddr emitSpecRoutine(bool first, SpecMode m, AccessBucket b);
@@ -120,7 +122,9 @@ class Builder
     /** Register the register-operand fast-path entry. */
     void setAltEntries(UAddr entry);
 
-    std::initializer_list<Op> pendingOps_;
+    // Copied out of beginExec's initializer_list: the list's backing
+    // array is a temporary that dies with the caller's statement.
+    std::vector<Op> pendingOps_;
     bool pendingBranchFormat_ = false;
 
     // ----- shape emitters -------------------------------------------------
@@ -173,6 +177,7 @@ Builder::build()
     buildTbMiss(false, img_.marks.tbMissD);
     buildTbMiss(true, img_.marks.tbMissI);
     buildIntDispatch();
+    buildMcheckDispatch();
     buildExec();
 
     // Completeness check: every defined opcode must have an execute
@@ -472,6 +477,26 @@ Builder::buildIntDispatch()
 }
 
 void
+Builder::buildMcheckDispatch()
+{
+    row(Row::IntExcept);
+    // Machine-check dispatch mirrors the interrupt flow but pushes a
+    // three-longword frame (code below PC below PSL) and spends extra
+    // cycles reading out the error-latching registers, as the 780's
+    // console error flows did. The SCB machine-check entry always
+    // selects the interrupt stack.
+    img_.marks.machineCheck =
+        emit(uop(Dp::IntVector, Mem::ReadP, Ib::None, Seq::Next, 0, 4));
+    emit(uop(Dp::IntPushPsl, Mem::WriteV, Ib::None, Seq::Next, 0, 4));
+    pad(4);
+    emit(uop(Dp::IntPushPc, Mem::WriteV, Ib::None, Seq::Next, 0, 4));
+    emit(uop(Dp::McheckPushCode, Mem::WriteV, Ib::None, Seq::Next, 0, 4));
+    // Error-register readout and summary-code assembly.
+    pad(20);
+    emit(uop(Dp::IntEnter, Mem::None, Ib::None, Seq::DecodeNext));
+}
+
+void
 Builder::beginExec(std::initializer_list<Op> ops, bool branch_format)
 {
     if (ops.size() == 0)
@@ -482,7 +507,7 @@ Builder::beginExec(std::initializer_list<Op> ops, bool branch_format)
             panic("execute routine shared across groups");
     }
     row(execRowFor(g));
-    pendingOps_ = ops;
+    pendingOps_.assign(ops.begin(), ops.end());
     pendingBranchFormat_ = branch_format;
 }
 

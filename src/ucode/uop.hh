@@ -77,6 +77,7 @@ enum class Dp : uint8_t
     IntPushPsl,      //!< SP -= 4; TADDR = SP; MDR = PSL
     IntVector,       //!< TADDR = SCBB + 4 * pending vector (physical)
     IntEnter,        //!< PC = MDR; raise IPL; redirect IB
+    McheckPushCode,  //!< SP -= 4; TADDR = SP; MDR = machine-check code
 
     // --- model hooks ----------------------------------------------------
     OsAssist,        //!< XFC escape to the VMS-lite assist hook

@@ -1,5 +1,6 @@
 #include "workload/codegen.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "cpu/vaxfloat.hh"
 #include "mmu/pagetable.hh"
@@ -649,7 +650,7 @@ ProgramGenerator::generate()
     d_.scratch = alloc(64, 4);
     uint32_t fixed_end = cursor;
     if (fixed_end >= d_.base + d_.bytes)
-        fatal("workload data region too small (%u needed)",
+        sim_throw(ConfigError, "workload data region too small (%u needed)",
               fixed_end - d_.base);
     // The long array takes all remaining data space: the footprint
     // knob that drives cache and TB behaviour.
@@ -748,7 +749,7 @@ ProgramGenerator::generate()
 
     const auto &code = a.finish();
     if (code.size() > CodeBytes)
-        fatal("generated program too large (%zu bytes)", code.size());
+        sim_throw(ConfigError, "generated program too large (%zu bytes)", code.size());
 
     // ----- assemble the image ---------------------------------------------------
     os::ProcessImage img;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/assembler.hh"
+#include "common/error.hh"
 #include "arch/decoder.hh"
 #include "arch/opcodes.hh"
 #include "arch/specifier.hh"
@@ -305,11 +306,11 @@ TEST(Assembler, DataDirectivesAndAlign)
     EXPECT_EQ(bytes[6], 0x77);
 }
 
-TEST(Assembler, OperandCountMismatchFatal)
+TEST(Assembler, OperandCountMismatchThrows)
 {
     Assembler a(0);
-    EXPECT_EXIT(a.emit(Op::MOVL, {Operand::reg(0)}),
-                ::testing::ExitedWithCode(1), "expects");
+    EXPECT_THROW(a.emit(Op::MOVL, {Operand::reg(0)}),
+                 upc780::ConfigError);
 }
 
 // ---------------------------------------------------------------------------

@@ -186,3 +186,65 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
     EXPECT_EQ(TextTable::pct(50.0, 1), "50.0%");
 }
+
+// ---------------------------------------------------------------------------
+// Logging: stderr discipline and UPC780_LOG_LEVEL filtering
+// ---------------------------------------------------------------------------
+
+#include <cstdlib>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+TEST(Logging, DiagnosticsNeverTouchStdout)
+{
+    // stdout carries tables and histograms; every diagnostic must go
+    // to stderr so piped output stays machine-parseable.
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    warn("this is a test warning %d", 42);
+    inform("this is test status %s", "ok");
+    std::string out = testing::internal::GetCapturedStdout();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(out.empty()) << "stdout polluted with: " << out;
+    EXPECT_NE(err.find("test warning 42"), std::string::npos);
+    EXPECT_NE(err.find("test status ok"), std::string::npos);
+}
+
+TEST(Logging, LogLevelEnvFilters)
+{
+    setenv("UPC780_LOG_LEVEL", "quiet", 1);
+    upc780::detail::reloadLogLevel();
+    testing::internal::CaptureStderr();
+    warn("suppressed");
+    inform("suppressed");
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+
+    setenv("UPC780_LOG_LEVEL", "warn", 1);
+    upc780::detail::reloadLogLevel();
+    testing::internal::CaptureStderr();
+    warn("kept");
+    inform("dropped");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("kept"), std::string::npos);
+    EXPECT_EQ(err.find("dropped"), std::string::npos);
+
+    unsetenv("UPC780_LOG_LEVEL");
+    upc780::detail::reloadLogLevel();
+}
+
+TEST(Logging, SimErrorHierarchy)
+{
+    // Every SimError subclass is catchable as SimError and carries
+    // its formatted message.
+    try {
+        sim_throw(upc780::ConfigError, "bad knob %d", 7);
+        FAIL() << "sim_throw did not throw";
+    } catch (const upc780::SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad knob 7"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(sim_throw(upc780::GuestError, "g"), upc780::SimError);
+    EXPECT_THROW(sim_throw(upc780::WatchdogError, "w"), upc780::SimError);
+    EXPECT_THROW(sim_throw(upc780::AuditError, "a"), upc780::SimError);
+}

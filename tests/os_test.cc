@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/assembler.hh"
+#include "common/error.hh"
 #include "os/kernel.hh"
 
 using namespace upc780;
@@ -239,9 +240,8 @@ TEST(Os, RejectsDoubleBootAndLateProcesses)
     VmsLite vms(machine);
     vms.addProcess(counterProcess(1));
     vms.boot();
-    EXPECT_EXIT(vms.boot(), ::testing::ExitedWithCode(1), "double");
-    EXPECT_EXIT(vms.addProcess(counterProcess(2)),
-                ::testing::ExitedWithCode(1), "after boot");
+    EXPECT_THROW(vms.boot(), upc780::ConfigError);
+    EXPECT_THROW(vms.addProcess(counterProcess(2)), upc780::ConfigError);
 }
 
 TEST(Os, UserStackLivesInP1)
