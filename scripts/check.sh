@@ -1,0 +1,40 @@
+#!/bin/sh
+# One-stop pre-merge gate: configure, build, run the full test suite,
+# lint the shipped microprogram, then rebuild with AddressSanitizer and
+# re-run the fault- and lint-labeled tests (the ones that exercise
+# error paths and seeded-defect images, where a lifetime bug would
+# most plausibly hide).
+#
+#   scripts/check.sh [build-dir]          (default: build-check)
+#
+# Set UPC780_TIDY=ON in the environment to request the clang-tidy pass
+# in the main build (skipped with a warning when clang-tidy is absent).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TIDY="${UPC780_TIDY:-OFF}"
+
+echo "== configure ($BUILD) =="
+cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUPC780_TIDY="$TIDY"
+
+echo "== build =="
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD" --output-on-failure
+
+echo "== ulint =="
+"$BUILD/tools/ulint" --report
+"$BUILD/tools/ulint" --no-fpa --quiet
+
+echo "== asan build (faults + lint tests) =="
+cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUPC780_SANITIZE=address
+cmake --build "$BUILD-asan" -j "$JOBS"
+ctest --test-dir "$BUILD-asan" -L "faults|lint" --output-on-failure
+
+echo "== all checks passed =="

@@ -71,6 +71,18 @@ class AuditError : public SimError
     using SimError::SimError;
 };
 
+/**
+ * The static control-store verifier (ulint) found a defect in the
+ * microprogram or its attribution map — either at simulator startup or
+ * because a measured histogram touched a flagged micro-address, which
+ * would silently corrupt the derived tables.
+ */
+class LintError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
 } // namespace upc780
 
 /** Throw a SimError subclass with a printf-formatted message. */

@@ -66,9 +66,10 @@ TextTable::str() const
     std::ostringstream os;
     os << title_ << "\n" << std::string(total, '=') << "\n";
 
+    static const std::string empty;
     auto emit = [&](const std::vector<std::string> &cells) {
         for (size_t i = 0; i < widths.size(); ++i) {
-            std::string c = i < cells.size() ? cells[i] : "";
+            const std::string &c = i < cells.size() ? cells[i] : empty;
             // Left-align the first column, right-align the rest.
             if (i == 0) {
                 os << c << std::string(widths[i] - c.size(), ' ');

@@ -141,7 +141,7 @@ Ebox::runCycle(uint64_t now)
             }
             uint32_t size =
                 dpMemSize_ ? dpMemSize_ : (op.arg ? op.arg : curSize_);
-            uint32_t stall = 0;
+            uint64_t stall = 0;
             if (op.mem == Mem::WriteV) {
                 auto r = memsys_.write(pa, size, mdr_, now);
                 stall = r.stallCycles;

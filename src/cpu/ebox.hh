@@ -270,7 +270,7 @@ class Ebox
     // Memory-op-in-progress bookkeeping.
     bool memDone_ = false;
     bool memSuppressed_ = false;
-    uint32_t stallRemaining_ = 0;
+    uint64_t stallRemaining_ = 0;
     bool pendingComplete_ = false;
 
     // Pending dispatch retry (IB-starved between micro-routines).

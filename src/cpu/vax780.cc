@@ -11,8 +11,9 @@ Vax780::Vax780(const MachineConfig &config)
     : memsys_(config.mem),
       tb_(config.tb),
       ibox_(memsys_, tb_),
-      ebox_(config.fpa ? ucode::microcodeImage()
-                       : ucode::microcodeImageNoFpa(),
+      ebox_(config.image ? *config.image
+                         : config.fpa ? ucode::microcodeImage()
+                                      : ucode::microcodeImageNoFpa(),
             memsys_, tb_, ibox_)
 {
     ebox_.setInterruptController(this);

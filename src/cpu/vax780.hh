@@ -56,6 +56,14 @@ struct MachineConfig
     bool fpa = true;  //!< Floating Point Accelerator installed
     /** RMODE decode optimization (see Ebox); off keeps exact counts. */
     bool rmodeDecode = false;
+
+    /**
+     * Explicit microprogram image, overriding the fpa-selected shipped
+     * image. The pointed-to image must outlive the machine. Intended
+     * for the lint tests, which run a deliberately defective copy of
+     * the microprogram.
+     */
+    const ucode::MicrocodeImage *image = nullptr;
 };
 
 /** The composed machine. */

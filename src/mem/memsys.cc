@@ -21,7 +21,7 @@ MemorySubsystem::setFaultInjector(fault::FaultInjector *inj)
     sbi_.setFaultInjector(inj);
 }
 
-uint32_t
+uint64_t
 MemorySubsystem::readRef(PAddr pa, uint64_t now, bool istream, bool &miss)
 {
     if (cache_.readAccess(pa, istream)) {
@@ -31,7 +31,7 @@ MemorySubsystem::readRef(PAddr pa, uint64_t now, bool istream, bool &miss)
     uint64_t ready = sbi_.startRead(now);
     // The fill longword crosses the ECC-checked main-memory array.
     memory_.fillCheck(alignDown(pa, 4));
-    return static_cast<uint32_t>(ready - now);
+    return ready - now;
 }
 
 MemResult
@@ -83,7 +83,7 @@ MemorySubsystem::write(PAddr pa, uint32_t size, uint64_t data,
     // Each longword of the write occupies a write-buffer entry.
     uint64_t at = now;
     for (uint32_t i = 0; i < refs; ++i) {
-        uint32_t stall = writeBuffer_.issue(at);
+        uint64_t stall = writeBuffer_.issue(at);
         r.stallCycles += stall;
         at += stall + 1;
         // Write-through probe: update-on-hit, never allocate.
@@ -101,7 +101,7 @@ MemorySubsystem::ifetch(PAddr pa, uint64_t now, uint64_t &data_ready_at)
 {
     PAddr lw = alignDown(pa, 4);
     bool miss = false;
-    uint32_t delay = readRef(lw, now, true, miss);
+    uint64_t delay = readRef(lw, now, true, miss);
     data_ready_at = now + delay;
     return static_cast<uint32_t>(memory_.read(lw, 4));
 }

@@ -38,7 +38,13 @@ namespace upc780::mem
 struct MemResult
 {
     uint64_t data = 0;        //!< read data (reads only)
-    uint32_t stallCycles = 0; //!< read or write stall incurred
+    /**
+     * Read or write stall incurred. 64-bit like every other counter on
+     * the counting path: stalls accumulate into histogram stall
+     * buckets, and a multi-billion-cycle run must not wrap anywhere
+     * along the chain.
+     */
+    uint64_t stallCycles = 0;
     bool miss = false;        //!< any cache miss among the references
     bool unaligned = false;   //!< access crossed a longword boundary
 };
@@ -101,7 +107,7 @@ class MemorySubsystem
 
   private:
     /** One aligned cache reference; returns stall cycles. */
-    uint32_t readRef(PAddr pa, uint64_t now, bool istream, bool &miss);
+    uint64_t readRef(PAddr pa, uint64_t now, bool istream, bool &miss);
 
     PhysicalMemory memory_;
     Cache cache_;

@@ -17,16 +17,16 @@ WriteBuffer::WriteBuffer(Sbi &sbi, uint32_t depth)
     inflight_.assign(depth_, 0);
 }
 
-uint32_t
+uint64_t
 WriteBuffer::issue(uint64_t now)
 {
     ++stats_.writes;
 
     // The buffer entry that frees earliest.
     auto slot = std::min_element(inflight_.begin(), inflight_.end());
-    uint32_t stall = 0;
+    uint64_t stall = 0;
     if (*slot > now) {
-        stall = static_cast<uint32_t>(*slot - now);
+        stall = *slot - now;
         ++stats_.stalls;
         stats_.stallCycles += stall;
     }

@@ -37,9 +37,10 @@ class WriteBuffer
     /**
      * Issue a write at cycle @p now.
      * @retval number of stall cycles incurred before the write could
-     *         be accepted.
+     *         be accepted. 64-bit: stall cycles flow into 64-bit
+     *         histogram counters and must not wrap on the way there.
      */
-    uint32_t issue(uint64_t now);
+    uint64_t issue(uint64_t now);
 
     /** Cycle at which all buffered writes have drained. */
     uint64_t drainedAt() const;

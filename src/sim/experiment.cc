@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "sim/watchdog.hh"
 #include "ucode/controlstore.hh"
+#include "ulint/ulint.hh"
 #include "workload/codegen.hh"
 
 namespace upc780::sim
@@ -90,6 +91,19 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     cpu::Vax780 machine(cfg_.machine);
     os::VmsLite vms(machine, cfg_.os);
 
+    // Static verification: the histogram is only as trustworthy as the
+    // control-store map it is interpreted against, so lint the image
+    // this machine actually runs. The report is kept either way; even
+    // when startup refusal is disabled, a measured cycle landing on a
+    // flagged address is reported after the run (see below).
+    const ulint::Report lint_report = ulint::lint(machine.microcode());
+    if (cfg_.lintMicrocode && !lint_report.clean()) {
+        sim_throw(LintError,
+                  "workload '%s': refusing to measure on a defective "
+                  "microprogram; ulint reports:\n%s",
+                  profile.name.c_str(), lint_report.toText().c_str());
+    }
+
     // Fault injection: only attach an injector when a fault source is
     // configured, so the default run is bit-identical to one without
     // the subsystem.
@@ -124,8 +138,7 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
 
     vms.boot();
 
-    const ucode::UAddr decode_addr =
-        ucode::microcodeImage().marks.decode;
+    const ucode::UAddr decode_addr = machine.microcode().marks.decode;
     uint64_t max_cycles = cfg_.maxCycles
                               ? cfg_.maxCycles
                               : 80 * (cfg_.instructionsPerWorkload +
@@ -211,6 +224,38 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
                   static_cast<unsigned long long>(
                       r.histogram.totalCycles()),
                   static_cast<unsigned long long>(r.cycles));
+    }
+
+    // Attribution audit: measured cycles that landed on a micro-address
+    // ulint flagged mean the derived tables are built on a defective
+    // word. Raised after measurement so a run with startup lint
+    // disabled still surfaces the finding in its partial-result report.
+    if (!lint_report.clean()) {
+        uint64_t touched_cycles = 0;
+        std::string rules;
+        for (ucode::UAddr a : ulint::flaggedAddresses(lint_report)) {
+            uint64_t n = r.histogram.count(a) + r.histogram.stall(a);
+            if (n == 0)
+                continue;
+            touched_cycles += n;
+            for (const ulint::Finding &f : lint_report.findings) {
+                if (f.addr == a &&
+                    rules.find(f.rule) == std::string::npos) {
+                    if (!rules.empty())
+                        rules += ", ";
+                    rules += f.rule;
+                }
+            }
+        }
+        if (touched_cycles) {
+            sim_throw(LintError,
+                      "workload '%s': histogram attributes %llu cycles "
+                      "to micro-addresses flagged by ulint (%s); the "
+                      "derived tables would be silently corrupt",
+                      profile.name.c_str(),
+                      static_cast<unsigned long long>(touched_cycles),
+                      rules.c_str());
+        }
     }
     return r;
 }

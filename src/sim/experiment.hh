@@ -115,6 +115,17 @@ struct ExperimentConfig
      * board, so a mismatch means lost or double-counted cycles.
      */
     bool auditCycleAccounting = true;
+
+    /**
+     * Run the static control-store verifier (ulint) over the machine's
+     * microprogram before each workload boots, refusing to measure on
+     * a defective image (LintError listing the findings). Even with
+     * this off, a measured histogram that touches a flagged
+     * micro-address still raises a LintError afterwards — attribution
+     * through a flagged word is exactly the silent corruption the
+     * verifier exists to catch.
+     */
+    bool lintMicrocode = true;
 };
 
 /** Runs workloads under a fixed configuration. */

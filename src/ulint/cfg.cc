@@ -1,0 +1,200 @@
+#include "ulint/cfg.hh"
+
+#include <algorithm>
+
+namespace upc780::ulint
+{
+
+using ucode::Ib;
+using ucode::Mem;
+using ucode::Seq;
+
+MicroCfg::MicroCfg(const ucode::MicrocodeImage &image) : img_(image)
+{
+    succ_.resize(img_.allocated);
+    reach_.resize(img_.allocated, false);
+    buildFanout();
+    buildEdges();
+    walk();
+}
+
+const std::vector<UAddr> &
+MicroCfg::successors(UAddr a) const
+{
+    static const std::vector<UAddr> empty;
+    return a < succ_.size() ? succ_[a] : empty;
+}
+
+void
+MicroCfg::buildFanout()
+{
+    // Out-of-range table entries are skipped here (the linter reports
+    // each table slot directly); keeping them out of the fan-out stops
+    // one bad slot from flooding every SpecDispatch word with edges.
+    auto add = [this](UAddr a) {
+        if (a != 0 && a < img_.allocated)
+            fanout_.push_back(a);
+    };
+
+    for (int f = 0; f < 2; ++f) {
+        for (size_t m = 0; m < size_t(ucode::SpecMode::NumModes); ++m) {
+            for (size_t b = 0; b < size_t(ucode::AccessBucket::NumBuckets);
+                 ++b)
+                add(img_.specRoutine[f][m][b]);
+            add(img_.idxRoutine[f][m]);
+        }
+        for (size_t b = 0; b < size_t(ucode::AccessBucket::NumBuckets); ++b)
+            add(img_.idxTail[f][b]);
+        add(img_.regFieldRoutine[f]);
+        add(img_.immQuadRoutine[f]);
+    }
+    for (size_t op = 0; op < img_.execEntry.size(); ++op) {
+        add(img_.execEntry[op]);
+        add(img_.execEntryRegAlt[op]);
+    }
+
+    std::sort(fanout_.begin(), fanout_.end());
+    fanout_.erase(std::unique(fanout_.begin(), fanout_.end()),
+                  fanout_.end());
+
+    // End-of-instruction targets: the sequencer leaves an instruction
+    // for uDECODE, or for the interrupt/exception or machine-check
+    // dispatch entry when one is pending.
+    const ucode::Landmarks &mk = img_.marks;
+    for (UAddr a : {mk.decode, mk.intDispatch, mk.machineCheck})
+        if (a != 0)
+            endOfInstr_.push_back(a);
+}
+
+void
+MicroCfg::addEdge(UAddr from, UAddr to)
+{
+    if (to == 0 || to >= img_.allocated || to >= ucode::ControlStoreSize) {
+        dangling_.emplace_back(from, to);
+        return;
+    }
+    std::vector<UAddr> &s = succ_[from];
+    if (std::find(s.begin(), s.end(), to) == s.end())
+        s.push_back(to);
+}
+
+// Hardware-implied edges (traps, stalls, end-of-instruction dispatch)
+// go through landmarks the linter validates directly; a bad landmark
+// yields one finding there instead of one dangling edge per word.
+void
+MicroCfg::addImpliedEdge(UAddr from, UAddr to)
+{
+    if (to != 0 && to < img_.allocated)
+        addEdge(from, to);
+}
+
+void
+MicroCfg::buildEdges()
+{
+    const ucode::Landmarks &mk = img_.marks;
+
+    for (UAddr a = 1; a < img_.allocated; ++a) {
+        // The fabricated-cycle words never sequence anywhere: ABORT
+        // dispatches into the Mem Mgmt service entries, and an
+        // insufficient-bytes stall word repeats until the IB fills,
+        // then resumes the stalled word (already reachable).
+        if (a == mk.abort) {
+            addImpliedEdge(a, mk.tbMissD);
+            addImpliedEdge(a, mk.tbMissI);
+            continue;
+        }
+        if (a == mk.ibStallDecode || a == mk.ibStallSpec1 ||
+            a == mk.ibStallSpec26 || a == mk.ibStallBdisp) {
+            addImpliedEdge(a, a);
+            continue;
+        }
+
+        const ucode::MicroOp &op = img_.ops[a];
+        switch (op.seq) {
+          case Seq::Next:
+            addEdge(a, UAddr(a + 1));
+            break;
+          case Seq::Jump:
+            addEdge(a, op.target);
+            break;
+          case Seq::Call:
+            addEdge(a, op.target);
+            addEdge(a, UAddr(a + 1));  // via the callee's Return
+            break;
+          case Seq::Return:
+          case Seq::TrapReturn:
+            break;
+          case Seq::JumpIfFlag:
+          case Seq::JumpIfNotFlag:
+            addEdge(a, op.target);
+            addEdge(a, UAddr(a + 1));
+            break;
+          case Seq::SpecDispatch:
+            for (UAddr t : fanout_)
+                addEdge(a, t);
+            for (UAddr t : endOfInstr_)
+                addImpliedEdge(a, t);
+            break;
+          case Seq::DecodeNext:
+            for (UAddr t : endOfInstr_)
+                addImpliedEdge(a, t);
+            break;
+          case Seq::DecodeNextIfNotFlag:
+            addEdge(a, UAddr(a + 1));
+            for (UAddr t : endOfInstr_)
+                addImpliedEdge(a, t);
+            break;
+        }
+
+        // Microtrap edge: a virtual-address memory function can miss
+        // the TB, and any I-Decode demand can trigger an IB fill that
+        // misses on the I-stream; both abort into the trap word.
+        if (op.mem == Mem::ReadV || op.mem == Mem::WriteV ||
+            op.ib != Ib::None)
+            addImpliedEdge(a, mk.abort);
+
+        // IB-starvation edge: the matching insufficient-bytes word.
+        switch (op.ib) {
+          case Ib::DecodeOp:
+            addImpliedEdge(a, mk.ibStallDecode);
+            break;
+          case Ib::DecodeSpec:
+          case Ib::GetImmHigh:
+            // The stall is attributed to the position of the specifier
+            // being decoded, which the static word does not encode.
+            addImpliedEdge(a, mk.ibStallSpec1);
+            addImpliedEdge(a, mk.ibStallSpec26);
+            break;
+          case Ib::GetBranchDisp:
+            addImpliedEdge(a, mk.ibStallBdisp);
+            break;
+          case Ib::None:
+            break;
+        }
+    }
+}
+
+void
+MicroCfg::walk()
+{
+    const UAddr root = img_.marks.decode;
+    if (root == 0 || root >= img_.allocated)
+        return;
+
+    std::vector<UAddr> work{root};
+    reach_[root] = true;
+    while (!work.empty()) {
+        UAddr a = work.back();
+        work.pop_back();
+        for (UAddr t : succ_[a]) {
+            if (!reach_[t]) {
+                reach_[t] = true;
+                work.push_back(t);
+            }
+        }
+    }
+    reachableCount_ = uint32_t(
+        std::count(reach_.begin(), reach_.end(), true));
+}
+
+} // namespace upc780::ulint

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Static control-flow graph of an assembled microprogram.
+ *
+ * Every number the analyzer derives from a UPC histogram rests on
+ * static knowledge of the microcode; `ulint` needs the same knowledge
+ * in graph form. The CFG models one node per allocated control-store
+ * word and a conservative over-approximation of the microsequencer's
+ * possible transitions:
+ *
+ *  - `Seq::Next` falls through to uPC + 1; `Jump`/`Call` go to the
+ *    word's target (a `Call` also makes uPC + 1 reachable through the
+ *    eventual `Return`); the conditional forms have both edges.
+ *  - `Seq::SpecDispatch` fans out over everything the I-Decode
+ *    dispatch hardware can select: every specifier routine for both
+ *    positions, the indexed base-calculation and post-index tails,
+ *    the register-field and quad-immediate routines, every opcode's
+ *    execute entry (including register fast paths), and — once the
+ *    specifier program is exhausted — the end-of-instruction targets.
+ *  - `Seq::DecodeNext` (and the conditional form) reaches the
+ *    end-of-instruction set: uDECODE, the interrupt/exception
+ *    dispatch entry, and the machine-check dispatch entry.
+ *  - Any word that can microtrap (a virtual-address memory function
+ *    or any I-Decode function, whose IB fill can miss the TB) has an
+ *    edge to the ABORT word, which dispatches to the two Mem Mgmt
+ *    service entries. `Seq::TrapReturn` re-executes the trapped word
+ *    (already reachable) and contributes no new edge.
+ *  - A word whose I-Decode demand can outrun the IB has an edge to
+ *    the matching "insufficient bytes" stall word; the stall words
+ *    themselves only self-loop (the stalled word resumes afterwards).
+ *
+ * The over-approximation errs on the side of extra edges, so a word
+ * the CFG cannot reach is dead under every execution.
+ */
+
+#ifndef UPC780_ULINT_CFG_HH
+#define UPC780_ULINT_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ucode/controlstore.hh"
+
+namespace upc780::ulint
+{
+
+using ucode::UAddr;
+
+/** The static CFG over a MicrocodeImage's allocated words. */
+class MicroCfg
+{
+  public:
+    explicit MicroCfg(const ucode::MicrocodeImage &image);
+
+    /** Static successors of @p a (empty for unallocated words). */
+    const std::vector<UAddr> &successors(UAddr a) const;
+
+    /** True if @p a is reachable from the uDECODE landmark. */
+    bool
+    reachable(UAddr a) const
+    {
+        return a < reach_.size() && reach_[a];
+    }
+
+    /** Number of reachable words. */
+    uint32_t reachableCount() const { return reachableCount_; }
+
+    /**
+     * The decode dispatch fan-out: every address the I-Decode
+     * dispatch hardware can select as a routine entry (specifier
+     * routines, indexed calc entries and tails, execute entries).
+     */
+    const std::vector<UAddr> &dispatchFanout() const { return fanout_; }
+
+    /**
+     * Edge targets that lie outside the allocated store (address 0 is
+     * reserved invalid), as (from, to) pairs. These never enter the
+     * successor lists, so the walk stays in bounds; the linter reports
+     * each as a dangling dispatch.
+     */
+    const std::vector<std::pair<UAddr, UAddr>> &danglingEdges() const
+    {
+        return dangling_;
+    }
+
+    const ucode::MicrocodeImage &image() const { return img_; }
+
+  private:
+    void buildFanout();
+    void buildEdges();
+    void addEdge(UAddr from, UAddr to);
+    void addImpliedEdge(UAddr from, UAddr to);
+    void walk();
+
+    const ucode::MicrocodeImage &img_;
+    std::vector<std::vector<UAddr>> succ_;
+    std::vector<UAddr> fanout_;
+    std::vector<UAddr> endOfInstr_;
+    std::vector<std::pair<UAddr, UAddr>> dangling_;
+    std::vector<bool> reach_;
+    uint32_t reachableCount_ = 0;
+};
+
+} // namespace upc780::ulint
+
+#endif // UPC780_ULINT_CFG_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ulint: a static verifier for the control store and the attribution
+ * map the histogram analyzer interprets it with.
+ *
+ * The paper's measurement technique attributes every processor cycle
+ * to a micro-address and then interprets the resulting histogram
+ * against static knowledge of the microcode — the Table 8 activity
+ * rows and the specifier-/execute-/taken-branch entry annotations. A
+ * single mis-rowed address or stale annotation silently corrupts the
+ * derived tables with no runtime symptom, so the static knowledge
+ * itself must be mechanically checkable. `lint()` builds the
+ * microprogram CFG (see cfg.hh) and proves the invariants below,
+ * returning a machine-readable findings report.
+ *
+ * Rules:
+ *  - UL001 reachable-unrowed: a reachable micro-address has no
+ *    activity row, so its cycles would vanish from Table 8.
+ *  - UL002 dead-rowed: an allocated (or rowed) word the CFG cannot
+ *    reach from uDECODE; its row claims cycles that can never occur.
+ *  - UL003 dangling-dispatch: a sequencer target or dispatch-table
+ *    entry that is 0 (reserved invalid) or outside the allocated
+ *    store, or a fallthrough off the end of the allocated region.
+ *  - UL004 entry-missing: a routine the decode dispatch hardware
+ *    needs — a specifier routine for a valid (mode, access) pair, an
+ *    indexed base-calc or post-index tail, an execute entry for a
+ *    defined opcode, or a landmark — is absent or unreachable.
+ *  - UL005 mem-row-conflict: a word issues a memory function but
+ *    claims a compute-only row (DECODE, B-DISP, ABORT), breaking the
+ *    read/write/IB-stall column split of Table 8.
+ *  - UL006 ibstall-not-unique: an "insufficient bytes" stall address
+ *    aliases another stall word, a landmark, or a dispatch entry, or
+ *    is not a pure no-op; stall cycles would be misattributed.
+ *  - UL007 annotation-mismatch: an analyzer annotation disagrees with
+ *    the dispatch tables or the microword it describes (wrong
+ *    position/class, stale key, group or branch-format drift).
+ *  - UL008 duplicate-entry: one address carries more than one
+ *    annotation (or annotates a landmark), so the analyzer would
+ *    count its executions in several tables at once.
+ *  - UL009 row-mismatch: a landmark or annotated entry carries a row
+ *    other than the one the paper's attribution requires (e.g. a
+ *    first-specifier routine rowed SPEC2-6).
+ *
+ * All rules are Severity::Error: the shipped microprogram must be
+ * clean, and a ctest case asserts that it is.
+ */
+
+#ifndef UPC780_ULINT_ULINT_HH
+#define UPC780_ULINT_ULINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ucode/controlstore.hh"
+#include "ulint/cfg.hh"
+
+namespace upc780::ulint
+{
+
+enum class Severity : uint8_t
+{
+    Error,
+    Warning,
+};
+
+std::string_view severityName(Severity s);
+
+/** One rule violation. */
+struct Finding
+{
+    std::string rule;        //!< rule ID, e.g. "UL003"
+    Severity severity = Severity::Error;
+    UAddr addr = 0;          //!< offending micro-address (0: global)
+    ucode::Row row = ucode::Row::None;  //!< its activity row
+    std::string detail;      //!< human-readable description
+};
+
+/** The findings report for one microprogram image. */
+struct Report
+{
+    std::vector<Finding> findings;
+    uint32_t wordsChecked = 0;    //!< allocated control-store words
+    uint32_t reachableWords = 0;  //!< words reachable from uDECODE
+
+    /** True when no Error-severity finding was produced. */
+    bool clean() const;
+
+    /** Number of findings carrying rule ID @p rule. */
+    size_t countRule(std::string_view rule) const;
+
+    /** True if some finding names micro-address @p a. */
+    bool flags(UAddr a) const;
+
+    /** One line per finding, plus a summary line. */
+    std::string toText() const;
+
+    /** The same report as a JSON object (machine-readable). */
+    std::string toJson() const;
+};
+
+/** Run every rule against @p image. */
+Report lint(const ucode::MicrocodeImage &image);
+
+/** Sorted unique micro-addresses named by the report's findings. */
+std::vector<UAddr> flaggedAddresses(const Report &report);
+
+} // namespace upc780::ulint
+
+#endif // UPC780_ULINT_ULINT_HH

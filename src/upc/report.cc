@@ -21,6 +21,12 @@ num(double v, int prec = 3)
     return TextTable::num(v, prec);
 }
 
+double
+dbl(uint64_t v)
+{
+    return static_cast<double>(v);
+}
+
 /** Minimal markdown table emitter. */
 class MdTable
 {
@@ -153,9 +159,9 @@ writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
             taken += static_cast<double>(r.taken);
             t.row({std::string(arch::pcClassName(
                        static_cast<arch::PcClass>(c))),
-                   num(100.0 * r.executed / instr, 1),
-                   num(100.0 * r.taken / r.executed, 0),
-                   num(100.0 * r.taken / instr, 1)});
+                   num(100.0 * dbl(r.executed) / instr, 1),
+                   num(100.0 * dbl(r.taken) / dbl(r.executed), 0),
+                   num(100.0 * dbl(r.taken) / instr, 1)});
         }
         t.row({"TOTAL", num(100.0 * tot / instr, 1),
                num(tot ? 100.0 * taken / tot : 0, 0),
@@ -186,16 +192,17 @@ writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
              ++c) {
             auto cls = static_cast<arch::SpecClass>(c);
             t.row({std::string(arch::specClassName(cls)),
-                   num(t1 ? 100.0 * d.byClass[1][c] / t1 : 0, 1),
-                   num(t0 ? 100.0 * d.byClass[0][c] / t0 : 0, 1),
-                   num(t1 + t0 ? 100.0 * d.classTotal(cls) / (t1 + t0)
+                   num(t1 ? 100.0 * dbl(d.byClass[1][c]) / t1 : 0, 1),
+                   num(t0 ? 100.0 * dbl(d.byClass[0][c]) / t0 : 0, 1),
+                   num(t1 + t0 ? 100.0 * dbl(d.classTotal(cls)) /
+                                     (t1 + t0)
                                : 0,
                        1)});
         }
         t.row({"Percent indexed",
-               num(t1 ? 100.0 * d.indexed[1] / t1 : 0, 1),
-               num(t0 ? 100.0 * d.indexed[0] / t0 : 0, 1),
-               num(t1 + t0 ? 100.0 * (d.indexed[0] + d.indexed[1]) /
+               num(t1 ? 100.0 * dbl(d.indexed[1]) / t1 : 0, 1),
+               num(t0 ? 100.0 * dbl(d.indexed[0]) / t0 : 0, 1),
+               num(t1 + t0 ? 100.0 * dbl(d.indexed[0] + d.indexed[1]) /
                                  (t1 + t0)
                            : 0,
                    1)});
@@ -237,7 +244,7 @@ writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
                num(an.estimatedInstrBytes(), 2)});
         if (hw.ibFills) {
             t.row({"IB references per instruction (hw)",
-                   num(hw.ibFills / instr, 2)});
+                   num(dbl(hw.ibFills) / instr, 2)});
         }
         t.finish();
     }
@@ -249,7 +256,7 @@ writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
         t.header({"Event", "Instruction headway"});
         if (hw.softIntRequests) {
             t.row({"Software interrupt requests",
-                   num(instr / hw.softIntRequests, 0)});
+                   num(instr / dbl(hw.softIntRequests), 0)});
         }
         t.row({"Hardware and software interrupts",
                num(an.interruptHeadway(), 0)});
@@ -314,14 +321,17 @@ writeReport(const HistogramAnalyzer &an, const ReportHwInputs &hw,
         t.row({"TB service cycles per miss", num(tb.cyclesPerMiss, 1)});
         t.row({"TB service stall cycles", num(tb.stallCyclesPerMiss, 1)});
         if (hw.ibFills)
-            t.row({"IB references (hw)", num(hw.ibFills / instr, 2)});
+            t.row({"IB references (hw)",
+                   num(dbl(hw.ibFills) / instr, 2)});
         if (hw.iReadMisses)
-            t.row({"Cache I-miss (hw)", num(hw.iReadMisses / instr, 3)});
+            t.row({"Cache I-miss (hw)",
+                   num(dbl(hw.iReadMisses) / instr, 3)});
         if (hw.dReadMisses)
-            t.row({"Cache D-miss (hw)", num(hw.dReadMisses / instr, 3)});
+            t.row({"Cache D-miss (hw)",
+                   num(dbl(hw.dReadMisses) / instr, 3)});
         if (hw.unalignedRefs)
             t.row({"Unaligned refs (hw)",
-                   num(hw.unalignedRefs / instr, 4)});
+                   num(dbl(hw.unalignedRefs) / instr, 4)});
         t.finish();
     }
 

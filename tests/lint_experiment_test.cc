@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ulint × experiment-harness integration: the runner refuses to
+ * measure on a defective microprogram at startup, and — when startup
+ * lint is disabled — a measured histogram that touches a flagged
+ * micro-address surfaces the finding through the partial-results
+ * machinery, the same path a fault campaign's failures take.
+ *
+ * The seeded defects are chosen to be *runtime-harmless*: the EBOX
+ * never consults the activity-row map or the stored ABORT word, so
+ * the workload executes bit-identically while the static map is
+ * wrong — exactly the silent-corruption scenario ulint exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/experiment.hh"
+#include "ucode/controlstore.hh"
+#include "ulint/ulint.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+sim::ExperimentConfig
+smallConfig()
+{
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = 5000;
+    cfg.warmupInstructions = 1000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(LintExperiment, StartupRefusesDefectiveImage)
+{
+    // The stored ABORT word gaining a memory function never changes
+    // execution (abort cycles are fabricated), but it is a map defect.
+    static ucode::MicrocodeImage defective = ucode::microcodeImage();
+    defective.ops[defective.marks.abort].mem = ucode::Mem::WriteV;
+    ASSERT_FALSE(ulint::lint(defective).clean());
+
+    auto cfg = smallConfig();
+    cfg.machine.image = &defective;
+    sim::ExperimentRunner runner(cfg);
+    auto p = wkl::timesharing1Profile();
+    p.users = 2;
+    EXPECT_THROW((void)runner.runWorkload(p), LintError);
+}
+
+TEST(LintExperiment, FlaggedAddressSurfacesInPartialResult)
+{
+    // Un-row the uDECODE word: UL001 flags the one address every
+    // instruction's histogram is guaranteed to touch. The row map is
+    // analyzer-only state, so the run itself completes normally.
+    static ucode::MicrocodeImage defective = ucode::microcodeImage();
+    defective.info[defective.marks.decode].row = ucode::Row::None;
+    ASSERT_FALSE(ulint::lint(defective).clean());
+
+    auto cfg = smallConfig();
+    cfg.machine.image = &defective;
+    cfg.lintMicrocode = false;  // let the measurement proceed
+    sim::ExperimentRunner runner(cfg);
+    auto p = wkl::timesharing1Profile();
+    p.users = 2;
+
+    auto c = runner.runComposite({p});
+    ASSERT_EQ(c.workloads.size(), 1u);
+    EXPECT_FALSE(c.workloads[0].ok);
+    EXPECT_FALSE(c.allOk());
+    // The partial-result stub names the rule so an overnight campaign's
+    // report points straight at the defect.
+    EXPECT_NE(c.workloads[0].error.find("UL001"), std::string::npos)
+        << c.workloads[0].error;
+    EXPECT_NE(c.workloads[0].error.find("flagged"), std::string::npos);
+}
+
+TEST(LintExperiment, CleanImageMeasuresNormally)
+{
+    // Default configuration: startup lint on, shipped image. The
+    // verifier must never get in the way of a healthy measurement.
+    sim::ExperimentRunner runner(smallConfig());
+    auto p = wkl::timesharing1Profile();
+    p.users = 2;
+    auto r = runner.runWorkload(p);
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.histogram.count(
+                  ucode::microcodeImage().marks.decode), 0u);
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the control-store linter: the shipped microprogram must be
+ * clean, and each rule must fire on a seeded defect. Every defect is
+ * planted in a *copy* of the shipped image — the same way a real
+ * regression would arrive: one bad edit to an otherwise good map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/opcodes.hh"
+#include "ucode/controlstore.hh"
+#include "ulint/cfg.hh"
+#include "ulint/ulint.hh"
+
+using namespace upc780;
+using ucode::MicrocodeImage;
+using ucode::Row;
+using ucode::UAddr;
+using ulint::lint;
+using ulint::MicroCfg;
+using ulint::Report;
+
+namespace
+{
+
+MicrocodeImage
+copyShipped()
+{
+    return ucode::microcodeImage();
+}
+
+/** Index of the MOVL primary execute entry (a plain one-word routine). */
+constexpr unsigned MovlOpcode = 0xD0;
+
+} // namespace
+
+TEST(UlintClean, ShippedImageHasNoFindings)
+{
+    Report r = lint(ucode::microcodeImage());
+    EXPECT_TRUE(r.clean()) << r.toText();
+    EXPECT_EQ(r.findings.size(), 0u) << r.toText();
+    EXPECT_GT(r.wordsChecked, 0u);
+    // Address 0 is reserved invalid; every other word is reachable.
+    EXPECT_EQ(r.reachableWords, r.wordsChecked - 1);
+}
+
+TEST(UlintClean, NoFpaImageHasNoFindings)
+{
+    Report r = lint(ucode::microcodeImageNoFpa());
+    EXPECT_TRUE(r.clean()) << r.toText();
+    EXPECT_EQ(r.findings.size(), 0u) << r.toText();
+}
+
+TEST(UlintCfg, DecodeSuccessorsIncludeStallAndAbort)
+{
+    const MicrocodeImage &img = ucode::microcodeImage();
+    MicroCfg cfg(img);
+    const auto &succ = cfg.successors(img.marks.decode);
+    // uDECODE consumes the opcode byte: it can stall on an empty IB
+    // and can microtrap if the IB fill misses the TB.
+    EXPECT_NE(std::find(succ.begin(), succ.end(), img.marks.ibStallDecode),
+              succ.end());
+    EXPECT_NE(std::find(succ.begin(), succ.end(), img.marks.abort),
+              succ.end());
+    // The decode dispatch fan-out reaches every execute entry.
+    const auto &fan = cfg.dispatchFanout();
+    EXPECT_TRUE(std::binary_search(fan.begin(), fan.end(),
+                                   img.execEntry[MovlOpcode]));
+}
+
+TEST(UlintCfg, AbortReachesBothTbMissEntries)
+{
+    const MicrocodeImage &img = ucode::microcodeImage();
+    MicroCfg cfg(img);
+    const auto &succ = cfg.successors(img.marks.abort);
+    ASSERT_EQ(succ.size(), 2u);
+    EXPECT_TRUE(cfg.reachable(img.marks.tbMissD));
+    EXPECT_TRUE(cfg.reachable(img.marks.tbMissI));
+}
+
+TEST(UlintSeeded, DeadWordFiresUL002)
+{
+    MicrocodeImage img = copyShipped();
+    // A rowed word the sequencer can never reach: classic dead
+    // microcode left behind by a routine rewrite.
+    UAddr dead = static_cast<UAddr>(img.allocated);
+    img.ops[dead] = ucode::MicroOp{ucode::Dp::Nop, ucode::Mem::None,
+                                   ucode::Ib::None, ucode::Seq::DecodeNext,
+                                   0, 0};
+    img.info[dead].row = Row::ExSimple;
+    ++img.allocated;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.countRule("UL002"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(dead));
+}
+
+TEST(UlintSeeded, RowedUnallocatedAddressFiresUL002)
+{
+    MicrocodeImage img = copyShipped();
+    img.info[img.allocated + 17].row = Row::ExFloat;
+
+    Report r = lint(img);
+    EXPECT_EQ(r.countRule("UL002"), 1u) << r.toText();
+}
+
+TEST(UlintSeeded, ReachableUnrowedWordFiresUL001)
+{
+    MicrocodeImage img = copyShipped();
+    // Un-row an interior word of the interrupt dispatch flow (not a
+    // landmark, not an annotated entry — only UL001 should fire).
+    UAddr a = static_cast<UAddr>(img.marks.intDispatch + 1);
+    img.info[a].row = Row::None;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.countRule("UL001"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, MisRowedSpecEntryFiresUL009)
+{
+    MicrocodeImage img = copyShipped();
+    // A first-specifier register routine claiming the SPEC2-6 row
+    // would silently move cycles between Table 8 rows.
+    UAddr a = img.specRoutine[1][size_t(ucode::SpecMode::Reg)]
+                             [size_t(ucode::AccessBucket::Read)];
+    ASSERT_NE(a, 0u);
+    img.info[a].row = Row::Spec26;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL009"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, DanglingJumpTargetFiresUL003)
+{
+    MicrocodeImage img = copyShipped();
+    // Point the HALT resting word's self-jump off the end of the
+    // allocated store.
+    img.ops[img.marks.halted].target =
+        static_cast<UAddr>(img.allocated + 100);
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL003"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(img.marks.halted));
+}
+
+TEST(UlintSeeded, DanglingDispatchTableEntryFiresUL003)
+{
+    MicrocodeImage img = copyShipped();
+    img.execEntry[MovlOpcode] = static_cast<UAddr>(img.allocated + 5);
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL003"), 1u) << r.toText();
+}
+
+TEST(UlintSeeded, MissingExecEntryFiresUL004)
+{
+    MicrocodeImage img = copyShipped();
+    img.execEntry[MovlOpcode] = 0;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL004"), 1u) << r.toText();
+}
+
+TEST(UlintSeeded, MemFunctionInComputeOnlyRowFiresUL005)
+{
+    MicrocodeImage img = copyShipped();
+    // The ABORT word is a fabricated one-cycle charge; giving it a
+    // memory function would double-count the trapped reference.
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.countRule("UL005"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(img.marks.abort));
+}
+
+TEST(UlintSeeded, AliasedIbStallWordsFireUL006)
+{
+    MicrocodeImage img = copyShipped();
+    // Fold the two specifier stall contexts onto one address: SPEC1
+    // and SPEC2-6 IB-stall cycles become indistinguishable.
+    img.marks.ibStallSpec1 = img.marks.ibStallSpec26;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL006"), 1u) << r.toText();
+}
+
+TEST(UlintSeeded, DriftedSpecAnnotationFiresUL007)
+{
+    MicrocodeImage img = copyShipped();
+    UAddr a = img.specRoutine[1][size_t(ucode::SpecMode::Reg)]
+                             [size_t(ucode::AccessBucket::Read)];
+    ASSERT_NE(a, 0u);
+    // Claim the first-position routine serves later specifiers: the
+    // analyzer's SPEC1/SPEC2-6 split would drift from the hardware's.
+    img.specEntries[a].first = false;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL007"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, WrongGroupAnnotationFiresUL007)
+{
+    MicrocodeImage img = copyShipped();
+    UAddr a = img.execEntry[MovlOpcode];
+    ASSERT_NE(a, 0u);
+    img.execEntries[a].group = arch::Group::Decimal;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL007"), 1u) << r.toText();
+}
+
+TEST(UlintSeeded, DuplicatedEntryAnnotationFiresUL008)
+{
+    MicrocodeImage img = copyShipped();
+    // The same address annotated as both an execute entry and a
+    // specifier entry would be counted in Table 1 *and* Table 4.
+    UAddr a = img.execEntry[MovlOpcode];
+    ASSERT_NE(a, 0u);
+    img.specEntries[a] = ucode::SpecEntryNote{
+        true, arch::SpecClass::Register, false};
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL008"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, AnnotatedLandmarkFiresUL008)
+{
+    MicrocodeImage img = copyShipped();
+    img.takenEntries[img.marks.decode] = arch::PcClass::Uncond;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL008"), 1u) << r.toText();
+}
+
+TEST(UlintReport, FlaggedAddressesAreSortedUnique)
+{
+    MicrocodeImage img = copyShipped();
+    img.ops[img.marks.halted].target =
+        static_cast<UAddr>(img.allocated + 100);
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    Report r = lint(img);
+    auto flagged = ulint::flaggedAddresses(r);
+    ASSERT_GE(flagged.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(flagged.begin(), flagged.end()));
+    EXPECT_EQ(std::adjacent_find(flagged.begin(), flagged.end()),
+              flagged.end());
+}
+
+TEST(UlintReport, TextAndJsonCarryRuleIds)
+{
+    MicrocodeImage img = copyShipped();
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    Report r = lint(img);
+    EXPECT_NE(r.toText().find("UL005"), std::string::npos);
+    EXPECT_NE(r.toJson().find("\"rule\": \"UL005\""), std::string::npos);
+    EXPECT_NE(r.toJson().find("\"clean\": false"), std::string::npos);
+
+    Report clean = lint(ucode::microcodeImage());
+    EXPECT_NE(clean.toJson().find("\"clean\": true"), std::string::npos);
+}

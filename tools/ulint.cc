@@ -1,0 +1,72 @@
+/**
+ * @file
+ * tools/ulint — command-line front end for the control-store linter.
+ *
+ * Runs every ulint rule against the shipped microprogram (or the
+ * no-FPA variant) and prints the findings. Exits 0 when the image is
+ * clean, 1 when any Error-severity finding fired, 2 on usage errors,
+ * so build scripts and CI can gate on it.
+ *
+ * Usage: ulint [--report] [--json] [--no-fpa] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "ucode/controlstore.hh"
+#include "ulint/ulint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    fprintf(stderr,
+            "usage: %s [--report] [--json] [--no-fpa] [--quiet]\n"
+            "  --report  print the full findings report (default)\n"
+            "  --json    print the report as JSON\n"
+            "  --no-fpa  lint the microprogram assembled without the "
+            "FPA\n"
+            "  --quiet   print nothing; exit status only\n",
+            argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool quiet = false;
+    bool no_fpa = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!strcmp(argv[i], "--report")) {
+            // default output mode
+        } else if (!strcmp(argv[i], "--json")) {
+            json = true;
+        } else if (!strcmp(argv[i], "--no-fpa")) {
+            no_fpa = true;
+        } else if (!strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const upc780::ucode::MicrocodeImage &img =
+        no_fpa ? upc780::ucode::microcodeImageNoFpa()
+               : upc780::ucode::microcodeImage();
+
+    upc780::ulint::Report report = upc780::ulint::lint(img);
+
+    if (!quiet) {
+        if (json)
+            fputs(report.toJson().c_str(), stdout);
+        else
+            fputs(report.toText().c_str(), stdout);
+    }
+    return report.clean() ? 0 : 1;
+}
