@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Scaling bench for the parallel experiment engine: run the five-
+ * workload composite at increasing worker counts, report wall-clock,
+ * speedup, and parallel efficiency versus the 1-worker run, and verify
+ * that every worker count reproduces the 1-worker composite bit for
+ * bit (the engine's central determinism contract).
+ *
+ * The composite is embarrassingly parallel — five independent machines
+ * — so on >= 5 idle cores the expected speedup approaches 5x, bounded
+ * by the slowest single workload (the engine cannot split one
+ * measurement interval). On fewer cores the bound is min(cores, 5).
+ *
+ * Environment knobs (shared with the table benches):
+ *   UPC780_INSTR   - measured instructions per workload (default 40k)
+ *   UPC780_WARMUP  - warm-up instructions per workload (default 8k)
+ *   UPC780_MAXJOBS - highest worker count to measure (default 8)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+double
+runOnce(const sim::ExperimentConfig &cfg, unsigned jobs,
+        sim::CompositeResult &out)
+{
+    sim::EngineConfig ecfg;
+    ecfg.jobs = jobs;
+    sim::ParallelEngine engine(cfg, ecfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    out = engine.runComposite(wkl::paperWorkloads());
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+identical(const sim::CompositeResult &a, const sim::CompositeResult &b)
+{
+    return a.histogram == b.histogram &&
+           a.instructions() == b.instructions() &&
+           a.timerInterrupts == b.timerInterrupts &&
+           a.terminalInterrupts == b.terminalInterrupts;
+}
+
+} // namespace
+
+int
+main()
+{
+    uint64_t instr = 40000;
+    uint64_t warmup = 8000;
+    unsigned max_jobs = 8;
+    if (const char *e = std::getenv("UPC780_INSTR"))
+        instr = strtoull(e, nullptr, 0);
+    if (const char *e = std::getenv("UPC780_WARMUP"))
+        warmup = strtoull(e, nullptr, 0);
+    if (const char *e = std::getenv("UPC780_MAXJOBS"))
+        max_jobs = static_cast<unsigned>(strtoul(e, nullptr, 0));
+
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = instr;
+    cfg.warmupInstructions = warmup;
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("Parallel engine scaling (five-workload composite, "
+                "%llu instr/workload, %u hardware threads)\n\n",
+                static_cast<unsigned long long>(instr), hw);
+    std::printf("  %-5s  %10s  %8s  %10s  %s\n", "jobs", "wall (s)",
+                "speedup", "efficiency", "identical");
+
+    std::vector<unsigned> sweep;
+    for (unsigned j : {1u, 2u, 4u, 5u, 8u})
+        if (j <= std::max(max_jobs, 1u))
+            sweep.push_back(j);
+
+    sim::CompositeResult baseline;
+    double base_wall = 0;
+    bool all_identical = true;
+    for (unsigned jobs : sweep) {
+        sim::CompositeResult c;
+        const double wall = runOnce(cfg, jobs, c);
+        if (jobs == sweep.front()) {
+            baseline = c;
+            base_wall = wall;
+        }
+        const bool same = identical(baseline, c);
+        all_identical = all_identical && same;
+        std::printf("  %-5u  %10.3f  %7.2fx  %9.1f%%  %s\n", jobs, wall,
+                    base_wall / wall, 100.0 * base_wall / wall / jobs,
+                    same ? "yes" : "NO");
+    }
+
+    std::printf("\ncomposite: %llu instructions, %llu cycles, all "
+                "worker counts bit-identical: %s\n",
+                static_cast<unsigned long long>(baseline.instructions()),
+                static_cast<unsigned long long>(
+                    baseline.histogram.totalCycles()),
+                all_identical ? "yes" : "NO");
+    return all_identical ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/engine.hh"
 #include "ucode/controlstore.hh"
 #include "workload/profile.hh"
 
@@ -24,15 +25,20 @@ runComposite()
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = instr;
     cfg.warmupInstructions = warmup;
-    sim::ExperimentRunner runner(cfg);
+    // The engine honors UPC780_JOBS (else all cores); its composite is
+    // bit-identical to the serial runner's, so every table bench sees
+    // the same data set no matter how many workers measured it.
+    sim::ParallelEngine engine(cfg);
+    const unsigned jobs = sim::resolveJobs(0);
 
     std::fprintf(stderr,
                  "[harness] measuring %llu instructions per workload "
-                 "across the five paper workloads...\n",
-                 static_cast<unsigned long long>(instr));
+                 "across the five paper workloads (%u worker%s)...\n",
+                 static_cast<unsigned long long>(instr), jobs,
+                 jobs == 1 ? "" : "s");
 
     Measurement m;
-    m.composite = runner.runComposite(wkl::paperWorkloads());
+    m.composite = engine.runComposite(wkl::paperWorkloads());
     m.image = &ucode::microcodeImage();
     return m;
 }

@@ -4,6 +4,10 @@
  *
  *   vaxsim_cli run [workload] [instructions]   measure + summary
  *   vaxsim_cli report [instructions]           full paper-style report
+ *
+ * `run` and `report` accept --jobs N (worker threads; default
+ * UPC780_JOBS, else all cores) and --seeds K (seed replications, run
+ * concurrently; the summary gains mean/stddev CPI across seeds).
  *   vaxsim_cli trace [workload] [n]            last n retired instrs
  *   vaxsim_cli disasm <file> [base]            disassemble raw bytes
  *   vaxsim_cli ucode [--dump]                  microprogram stats/listing
@@ -20,8 +24,10 @@
 #include <vector>
 
 #include "arch/decoder.hh"
+#include "common/stats.hh"
 #include "cpu/trace.hh"
 #include "os/kernel.hh"
+#include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "ucode/controlstore.hh"
 #include "upc/report.hh"
@@ -47,16 +53,52 @@ profileByName(const char *name)
     return wkl::timesharing1Profile();
 }
 
+/**
+ * Strip `--jobs N` / `--seeds K` out of an argv slice (compacting it
+ * in place) so the positional arguments keep their old meanings.
+ */
+struct EngineArgs
+{
+    unsigned jobs = 0;
+    unsigned seeds = 1;
+
+    int
+    extract(int argc, char **argv)
+    {
+        int kept = 0;
+        for (int i = 0; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+                jobs = static_cast<unsigned>(
+                    strtoul(argv[++i], nullptr, 0));
+            else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
+                seeds = static_cast<unsigned>(
+                    strtoul(argv[++i], nullptr, 0));
+            else
+                argv[kept++] = argv[i];
+        }
+        if (seeds < 1)
+            seeds = 1;
+        return kept;
+    }
+};
+
 int
 cmdRun(int argc, char **argv)
 {
+    EngineArgs ea;
+    argc = ea.extract(argc, argv);
     auto profile = profileByName(argc > 0 ? argv[0] : "ts1");
     uint64_t n = argc > 1 ? strtoull(argv[1], nullptr, 0) : 100000;
 
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = n;
     cfg.warmupInstructions = n / 6;
-    auto r = sim::ExperimentRunner(cfg).runWorkload(profile);
+    sim::EngineConfig ecfg;
+    ecfg.jobs = ea.jobs;
+    sim::ParallelEngine engine(cfg, ecfg);
+    auto reps = engine.runReplicated({profile}, ea.seeds);
+
+    const auto &r = reps.front().workloads.front();
     upc::HistogramAnalyzer an(r.histogram, ucode::microcodeImage());
 
     std::printf("%s\n", profile.name.c_str());
@@ -68,18 +110,29 @@ cmdRun(int argc, char **argv)
                 "context-switch headway %.0f\n",
                 tb.missesPerInstr, an.interruptHeadway(),
                 an.contextSwitchHeadway());
+    if (ea.seeds > 1) {
+        RunningStat cpi = sim::cpiAcrossReplications(reps);
+        std::printf("  %u seeds: CPI mean %.3f stddev %.3f (%.2f%%)\n",
+                    ea.seeds, cpi.mean(), cpi.stddev(),
+                    100.0 * cpi.relStddev());
+    }
     return 0;
 }
 
 int
 cmdReport(int argc, char **argv)
 {
+    EngineArgs ea;
+    argc = ea.extract(argc, argv);
     uint64_t n = argc > 0 ? strtoull(argv[0], nullptr, 0) : 60000;
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = n;
     cfg.warmupInstructions = n / 6;
-    auto c = sim::ExperimentRunner(cfg).runComposite(
-        wkl::paperWorkloads());
+    sim::EngineConfig ecfg;
+    ecfg.jobs = ea.jobs;
+    sim::ParallelEngine engine(cfg, ecfg);
+    auto reps = engine.runReplicated(wkl::paperWorkloads(), ea.seeds);
+    const auto &c = reps.front();
     upc::HistogramAnalyzer an(c.histogram, ucode::microcodeImage());
     upc::ReportHwInputs hw;
     hw.ibFills = c.hw.ibFills;
@@ -88,6 +141,15 @@ cmdReport(int argc, char **argv)
     hw.unalignedRefs = c.hw.unalignedRefs;
     hw.softIntRequests = c.osStats.softIntRequests();
     std::fputs(upc::writeReport(an, hw).c_str(), stdout);
+    if (ea.seeds > 1) {
+        RunningStat cpi = sim::cpiAcrossReplications(reps);
+        std::printf("\nSeed sweep (%u replications per workload)\n",
+                    ea.seeds);
+        std::printf("  CPI mean %.3f  stddev %.3f (%.2f%%)  "
+                    "min %.3f  max %.3f\n",
+                    cpi.mean(), cpi.stddev(), 100.0 * cpi.relStddev(),
+                    cpi.min(), cpi.max());
+    }
     return 0;
 }
 

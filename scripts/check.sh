@@ -1,9 +1,11 @@
 #!/bin/sh
 # One-stop pre-merge gate: configure, build, run the full test suite,
-# lint the shipped microprogram, then rebuild with AddressSanitizer and
-# re-run the fault- and lint-labeled tests (the ones that exercise
-# error paths and seeded-defect images, where a lifetime bug would
-# most plausibly hide).
+# lint the shipped microprogram, prove the parallel engine's
+# determinism contract (golden tables, parallel-labeled tests, and a
+# byte-for-byte diff of a 1-worker vs 4-worker composite report), then
+# rebuild with AddressSanitizer for the fault/lint tests and — when
+# the toolchain supports it — with ThreadSanitizer for the
+# parallel-labeled tests.
 #
 #   scripts/check.sh [build-dir]          (default: build-check)
 #
@@ -31,10 +33,33 @@ echo "== ulint =="
 "$BUILD/tools/ulint" --report
 "$BUILD/tools/ulint" --no-fpa --quiet
 
+echo "== parallel + golden labels =="
+ctest --test-dir "$BUILD" -L "parallel|golden" --output-on-failure
+
+echo "== 4-worker composite is byte-identical to serial =="
+UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 1 \
+    > "$BUILD/report-serial.txt"
+UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 4 \
+    > "$BUILD/report-jobs4.txt"
+cmp "$BUILD/report-serial.txt" "$BUILD/report-jobs4.txt"
+echo "identical"
+
 echo "== asan build (faults + lint tests) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
 ctest --test-dir "$BUILD-asan" -L "faults|lint" --output-on-failure
+
+if echo 'int main(){return 0;}' | \
+    c++ -fsanitize=thread -x c++ - -o "$BUILD/tsan-probe" 2>/dev/null
+then
+    echo "== tsan build (parallel tests) =="
+    cmake -S . -B "$BUILD-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DUPC780_SANITIZE=thread
+    cmake --build "$BUILD-tsan" -j "$JOBS"
+    ctest --test-dir "$BUILD-tsan" -L parallel --output-on-failure
+else
+    echo "== tsan unavailable; skipping thread-sanitized parallel run =="
+fi
 
 echo "== all checks passed =="

@@ -1,6 +1,8 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace upc780
@@ -27,17 +29,44 @@ vformat(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+namespace
+{
+
+/**
+ * Serializes every diagnostic line. The parallel experiment engine
+ * runs workloads on worker threads that warn() concurrently (e.g. a
+ * fault campaign reporting partial failures), and interleaved partial
+ * fprintf output would garble the very report a human needs to debug
+ * them.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
@@ -63,25 +92,28 @@ parseLogLevel()
     return LogLevel::Info;
 }
 
-LogLevel currentLevel = LogLevel::Info;
-bool levelLoaded = false;
+// -1 encodes "not parsed yet"; concurrent first calls may both parse
+// the environment, but they compute the same answer, so the race is
+// benign and the atomic keeps it data-race-free under TSan.
+std::atomic<int> cachedLevel{-1};
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    if (!levelLoaded) {
-        currentLevel = parseLogLevel();
-        levelLoaded = true;
+    int v = cachedLevel.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(parseLogLevel());
+        cachedLevel.store(v, std::memory_order_relaxed);
     }
-    return currentLevel;
+    return static_cast<LogLevel>(v);
 }
 
 void
 reloadLogLevel()
 {
-    levelLoaded = false;
+    cachedLevel.store(-1, std::memory_order_relaxed);
 }
 
 void
@@ -89,6 +121,7 @@ warnImpl(const std::string &msg)
 {
     if (logLevel() < LogLevel::Warn)
         return;
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -97,6 +130,7 @@ informImpl(const std::string &msg)
 {
     if (logLevel() < LogLevel::Info)
         return;
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -15,6 +15,11 @@
  * stays machine-parseable. The UPC780_LOG_LEVEL environment variable
  * filters warn/inform: "quiet"/"error"/0 silences both, "warn"/1
  * keeps warnings only, "info"/2 (the default) keeps everything.
+ *
+ * All entry points are safe to call from concurrent experiment-engine
+ * workers: each diagnostic line is emitted atomically (never
+ * interleaved mid-line), and the cached log level is read and reloaded
+ * without data races.
  */
 
 #ifndef UPC780_COMMON_LOGGING_HH

@@ -29,6 +29,20 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+deriveSeed(uint64_t base, uint64_t stream)
+{
+    if (stream == 0)
+        return base;
+    // Two splitmix64 rounds over (base, stream) mixed with distinct
+    // odd constants: cheap, stateless, and empirically free of the
+    // low-bit correlations naive seed+id arithmetic has.
+    uint64_t x = base ^ (stream * 0xd1342543de82ef95ULL);
+    uint64_t a = splitmix64(x);
+    x ^= 0x9e3779b97f4a7c15ULL;
+    return a ^ splitmix64(x);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t sm = seed;

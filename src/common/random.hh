@@ -19,11 +19,30 @@
 namespace upc780
 {
 
+/**
+ * Derive a decorrelated child seed for an independent stream.
+ *
+ * The parallel experiment engine gives every (workload, replication)
+ * task — and thus every worker thread — its own RNG stream derived
+ * from the experiment's base seed and a stable stream id, so results
+ * depend only on the task identity, never on which thread ran it or
+ * in what order. Stream 0 is the identity (returns @p base unchanged)
+ * so a single-replication run is bit-identical to the historical
+ * serial path.
+ */
+uint64_t deriveSeed(uint64_t base, uint64_t stream);
+
 /** xoshiro256** PRNG with splitmix64 seeding. */
 class Rng
 {
   public:
     explicit Rng(uint64_t seed = 0x780780780780ULL);
+
+    /** A child RNG on the independent stream @p stream (see deriveSeed). */
+    static Rng forStream(uint64_t base_seed, uint64_t stream)
+    {
+        return Rng(deriveSeed(base_seed, stream));
+    }
 
     /** Next raw 64-bit value. */
     uint64_t next();

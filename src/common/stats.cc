@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace upc780
 {
@@ -16,6 +17,9 @@ RunningStat::sample(double x)
     }
     ++count_;
     sum_ += x;
+    const double delta = x - welfordMean_;
+    welfordMean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - welfordMean_);
 }
 
 void
@@ -23,6 +27,28 @@ RunningStat::reset()
 {
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
+    welfordMean_ = m2_ = 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::relStddev() const
+{
+    const double m = mean();
+    return m != 0.0 ? stddev() / std::fabs(m) : 0.0;
 }
 
 void

@@ -33,7 +33,11 @@ class Counter
     uint64_t value_ = 0;
 };
 
-/** Running scalar statistics: count / sum / min / max / mean. */
+/**
+ * Running scalar statistics: count / sum / min / max / mean plus
+ * variance and standard deviation (Welford's online algorithm, so a
+ * long seed sweep never loses precision to catastrophic cancellation).
+ */
 class RunningStat
 {
   public:
@@ -46,11 +50,20 @@ class RunningStat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Sample (n-1) variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation; 0 with fewer than two samples. */
+    double stddev() const;
+    /** stddev / |mean| (coefficient of variation); 0 when mean is 0. */
+    double relStddev() const;
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double welfordMean_ = 0.0;
+    double m2_ = 0.0;
 };
 
 /**

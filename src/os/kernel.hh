@@ -69,6 +69,24 @@ struct OsStats
     {
         return reschedRequests + forkRequests;
     }
+
+    /**
+     * Field-wise sum (composite construction). Associative and
+     * commutative like Histogram::merge, so the parallel engine's
+     * merge order cannot affect the composite.
+     */
+    void
+    accumulate(const OsStats &o)
+    {
+        contextSwitches += o.contextSwitches;
+        reschedRequests += o.reschedRequests;
+        forkRequests += o.forkRequests;
+        syscalls += o.syscalls;
+        termWrites += o.termWrites;
+        machineChecks += o.machineChecks;
+        faultsCorrected += o.faultsCorrected;
+        processesTerminated += o.processesTerminated;
+    }
 };
 
 /** One VMS-style error-log entry written by the machine-check handler. */

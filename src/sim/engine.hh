@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Parallel experiment engine: a worker pool that runs the composite's
+ * independent one-interval experiments — and K seed replications of
+ * each — concurrently, then assembles the results through the same
+ * order-independent merge path the serial runner uses.
+ *
+ * The paper's composite is embarrassingly parallel: five experiments
+ * that never share a machine (§2.2), each fully determined by its
+ * (profile, seed, config) triple. The engine exploits exactly that —
+ * every task gets its own Vax780 + VMS-lite + UPC monitor + watchdog —
+ * and restores determinism at the join: results are folded into the
+ * composite in task order, never completion order, and every
+ * accumulation (Histogram::merge, HwCounters/OsStats/FaultStats) is an
+ * associative, commutative sum. A parallel run is therefore
+ * bit-identical to the serial run, which the `parallel`-labeled tests
+ * pin down.
+ *
+ * Watchdogs are per worker, not global: each task already carries its
+ * own cycle-domain Watchdog, and the engine's supervisor adds an
+ * optional wall-clock deadline per task via the per-worker cancel
+ * flag, so one wedged workload aborts alone while the rest of the
+ * campaign completes.
+ */
+
+#ifndef UPC780_SIM_ENGINE_HH
+#define UPC780_SIM_ENGINE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace upc780::sim
+{
+
+/** Worker-pool configuration. */
+struct EngineConfig
+{
+    /**
+     * Worker threads. 0 (the default) resolves at run time: the
+     * UPC780_JOBS environment variable if set, else the hardware
+     * concurrency, clamped to at least 1. The pool never spawns more
+     * workers than there are tasks.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Wall-clock deadline per task in seconds; 0 disables. When a task
+     * overruns, the supervisor raises that worker's cancel flag and
+     * the run aborts with a WatchdogError recorded as a not-ok partial
+     * result, exactly like a cycle-domain watchdog trip.
+     */
+    double taskDeadlineSeconds = 0;
+};
+
+/** Resolve an effective worker count (see EngineConfig::jobs). */
+unsigned resolveJobs(unsigned requested);
+
+/** Runs experiment tasks on a worker pool with deterministic merge. */
+class ParallelEngine
+{
+  public:
+    explicit ParallelEngine(const ExperimentConfig &config,
+                            const EngineConfig &engine = {})
+        : cfg_(config), ecfg_(engine)
+    {}
+
+    /**
+     * Run the workloads concurrently and fold them — in profile order —
+     * into a composite bit-identical to
+     * ExperimentRunner::runComposite's. Failures become not-ok partial
+     * results, as in the serial path.
+     */
+    CompositeResult
+    runComposite(const std::vector<wkl::WorkloadProfile> &profiles);
+
+    /**
+     * Run @p replications composites, replication r seeding every
+     * workload with deriveSeed(profile.seed, r): replication 0 is the
+     * base seed, so runReplicated(p, 1)[0] equals runComposite(p).
+     * All replications × workloads tasks share one worker pool.
+     */
+    std::vector<CompositeResult>
+    runReplicated(const std::vector<wkl::WorkloadProfile> &profiles,
+                  unsigned replications);
+
+    const ExperimentConfig &config() const { return cfg_; }
+    const EngineConfig &engineConfig() const { return ecfg_; }
+
+  private:
+    std::vector<WorkloadResult>
+    runTasks(const std::vector<wkl::WorkloadProfile> &tasks);
+
+    ExperimentConfig cfg_;
+    EngineConfig ecfg_;
+};
+
+/**
+ * CPI across replicated composites (seed-sweep data reduction): one
+ * sample per replication, taken from its merged histogram.
+ */
+RunningStat cpiAcrossReplications(
+    const std::vector<CompositeResult> &replications);
+
+} // namespace upc780::sim
+
+#endif // UPC780_SIM_ENGINE_HH

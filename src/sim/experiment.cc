@@ -27,6 +27,20 @@ HwCounters::accumulate(const HwCounters &o)
     ibFills += o.ibFills;
 }
 
+void
+CompositeResult::add(WorkloadResult r)
+{
+    if (r.ok) {
+        histogram.merge(r.histogram);
+        hw.accumulate(r.hw);
+        osStats.accumulate(r.osStats);
+        faultStats.accumulate(r.faultStats);
+        timerInterrupts += r.timerInterrupts;
+        terminalInterrupts += r.terminalInterrupts;
+    }
+    workloads.push_back(std::move(r));
+}
+
 uint64_t
 CompositeResult::instructions() const
 {
@@ -152,6 +166,14 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     uint64_t liveness_check_at = 0;
     constexpr uint64_t LivenessStride = 8192;
     auto check_stuck = [&](const char *where) {
+        if (cfg_.cancel &&
+            cfg_.cancel->load(std::memory_order_relaxed)) {
+            sim_throw(WatchdogError,
+                      "workload '%s' cancelled during %s (engine "
+                      "deadline exceeded)\n%s",
+                      profile.name.c_str(), where,
+                      watchdog.diagnostic().c_str());
+        }
         if (watchdog.expired()) {
             sim_throw(WatchdogError, "workload '%s' stuck during %s\n%s",
                       profile.name.c_str(), where,
@@ -276,23 +298,8 @@ ExperimentRunner::runComposite(
             r.name = p.name;
             r.ok = false;
             r.error = e.what();
-            c.workloads.push_back(std::move(r));
-            continue;
         }
-        c.histogram.accumulate(r.histogram);
-        c.hw.accumulate(r.hw);
-        c.osStats.contextSwitches += r.osStats.contextSwitches;
-        c.osStats.reschedRequests += r.osStats.reschedRequests;
-        c.osStats.forkRequests += r.osStats.forkRequests;
-        c.osStats.syscalls += r.osStats.syscalls;
-        c.osStats.termWrites += r.osStats.termWrites;
-        c.osStats.machineChecks += r.osStats.machineChecks;
-        c.osStats.faultsCorrected += r.osStats.faultsCorrected;
-        c.osStats.processesTerminated += r.osStats.processesTerminated;
-        c.faultStats.accumulate(r.faultStats);
-        c.timerInterrupts += r.timerInterrupts;
-        c.terminalInterrupts += r.terminalInterrupts;
-        c.workloads.push_back(std::move(r));
+        c.add(std::move(r));
     }
     return c;
 }

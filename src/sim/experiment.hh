@@ -12,6 +12,7 @@
 #ifndef UPC780_SIM_EXPERIMENT_HH
 #define UPC780_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,17 @@ struct CompositeResult
     uint64_t timerInterrupts = 0;
     uint64_t terminalInterrupts = 0;
 
+    /**
+     * Fold one workload result into the composite: append it to
+     * @ref workloads and, when it is ok, merge its histogram and
+     * accumulate its counters. This is the single merge path shared by
+     * the serial runner and the parallel engine; every accumulation it
+     * performs is an order-independent sum, so folding results in
+     * workload order yields the same bytes regardless of which thread
+     * produced each result, or when.
+     */
+    void add(WorkloadResult r);
+
     /** Instructions measured (decode-bucket count). */
     uint64_t instructions() const;
 
@@ -126,6 +138,17 @@ struct ExperimentConfig
      * verifier exists to catch.
      */
     bool lintMicrocode = true;
+
+    /**
+     * Cooperative cancellation, polled alongside the watchdog (O(1),
+     * every tick). The parallel engine points each worker's runs at a
+     * per-worker flag so its supervisor can enforce a wall-clock
+     * deadline per task instead of one global timeout: a stuck worker
+     * aborts its own run with a WatchdogError while the others finish
+     * normally. Null (the default) disables the check; it never fires
+     * on the success path, so it cannot perturb a measurement.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Runs workloads under a fixed configuration. */

@@ -25,7 +25,7 @@ Histogram::totalStalls() const
 }
 
 void
-Histogram::accumulate(const Histogram &other)
+Histogram::merge(const Histogram &other)
 {
     for (uint32_t i = 0; i < NumBuckets; ++i) {
         counts_[i] += other.counts_[i];

@@ -47,8 +47,22 @@ class Histogram
     /** Total cycles observed (executions + stalls). */
     uint64_t totalCycles() const { return totalCounts() + totalStalls(); }
 
-    /** Add another histogram bucket-wise (composite workloads, §2.2). */
-    void accumulate(const Histogram &other);
+    /**
+     * Merge another board's memory into this one, bucket-wise — the
+     * paper's composite construction (§2.2: five experiments' UPC
+     * histograms summed). Because every bucket is an independent
+     * unsigned add, merge is associative and commutative: the parallel
+     * experiment engine relies on this to guarantee that a composite
+     * assembled from worker threads in any completion order is
+     * bit-identical to the serial run.
+     */
+    void merge(const Histogram &other);
+
+    /** Historical name for @ref merge. */
+    void accumulate(const Histogram &other) { merge(other); }
+
+    /** Exact bucket-wise equality (determinism tests). */
+    bool operator==(const Histogram &other) const = default;
 
     /**
      * Save to / load from a simple text format ("addr count stalls"

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Determinism and thread-safety properties of the parallel experiment
+ * engine:
+ *
+ *  - a parallel composite is bit-identical to the serial one,
+ *  - Histogram::merge is associative and commutative under shuffled
+ *    merge orders (the property the deterministic join relies on),
+ *  - the same seed twice yields an identical WorkloadResult,
+ *  - replication seeds genuinely vary the measurement,
+ *  - engine cancellation (per-worker deadline path) aborts a run as a
+ *    clean WatchdogError / not-ok partial result,
+ *  - the logger and per-stream RNGs survive concurrent hammering
+ *    (run these under -DUPC780_SANITIZE=thread to let TSan watch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/engine.hh"
+#include "upc/histogram.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+sim::ExperimentConfig
+smallConfig()
+{
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = 6000;
+    cfg.warmupInstructions = 1000;
+    return cfg;
+}
+
+/** Reduced-size copies of the five paper workloads. */
+std::vector<wkl::WorkloadProfile>
+smallPaperWorkloads()
+{
+    auto profiles = wkl::paperWorkloads();
+    for (auto &p : profiles)
+        p.users = std::min(p.users, 8u);
+    return profiles;
+}
+
+void
+expectWorkloadResultsEqual(const sim::WorkloadResult &a,
+                           const sim::WorkloadResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_TRUE(a.histogram == b.histogram);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.hw.dReads, b.hw.dReads);
+    EXPECT_EQ(a.hw.dReadMisses, b.hw.dReadMisses);
+    EXPECT_EQ(a.hw.iReads, b.hw.iReads);
+    EXPECT_EQ(a.hw.iReadMisses, b.hw.iReadMisses);
+    EXPECT_EQ(a.hw.writes, b.hw.writes);
+    EXPECT_EQ(a.hw.writeStallCycles, b.hw.writeStallCycles);
+    EXPECT_EQ(a.hw.unalignedRefs, b.hw.unalignedRefs);
+    EXPECT_EQ(a.hw.tbDMisses, b.hw.tbDMisses);
+    EXPECT_EQ(a.hw.tbIMisses, b.hw.tbIMisses);
+    EXPECT_EQ(a.hw.ibFills, b.hw.ibFills);
+    EXPECT_EQ(a.osStats.contextSwitches, b.osStats.contextSwitches);
+    EXPECT_EQ(a.osStats.syscalls, b.osStats.syscalls);
+    EXPECT_EQ(a.timerInterrupts, b.timerInterrupts);
+    EXPECT_EQ(a.terminalInterrupts, b.terminalInterrupts);
+}
+
+} // namespace
+
+// ----- the engine's central contract ------------------------------------
+
+TEST(ParallelEngine, SerialAndParallelCompositesBitIdentical)
+{
+    const auto profiles = smallPaperWorkloads();
+
+    sim::ExperimentRunner serial(smallConfig());
+    auto s = serial.runComposite(profiles);
+
+    sim::EngineConfig ecfg;
+    ecfg.jobs = 4;
+    sim::ParallelEngine engine(smallConfig(), ecfg);
+    auto p = engine.runComposite(profiles);
+
+    ASSERT_EQ(s.workloads.size(), p.workloads.size());
+    EXPECT_TRUE(s.histogram == p.histogram);
+    EXPECT_EQ(s.instructions(), p.instructions());
+    EXPECT_EQ(s.histogram.totalCycles(), p.histogram.totalCycles());
+    EXPECT_EQ(s.hw.dReads, p.hw.dReads);
+    EXPECT_EQ(s.hw.writes, p.hw.writes);
+    EXPECT_EQ(s.hw.ibFills, p.hw.ibFills);
+    EXPECT_EQ(s.osStats.contextSwitches, p.osStats.contextSwitches);
+    EXPECT_EQ(s.osStats.syscalls, p.osStats.syscalls);
+    EXPECT_EQ(s.timerInterrupts, p.timerInterrupts);
+    EXPECT_EQ(s.terminalInterrupts, p.terminalInterrupts);
+    for (size_t i = 0; i < s.workloads.size(); ++i)
+        expectWorkloadResultsEqual(s.workloads[i], p.workloads[i]);
+}
+
+TEST(ParallelEngine, SingleReplicationMatchesComposite)
+{
+    const auto profiles = smallPaperWorkloads();
+    sim::EngineConfig ecfg;
+    ecfg.jobs = 2;
+    sim::ParallelEngine engine(smallConfig(), ecfg);
+
+    auto c = engine.runComposite(profiles);
+    auto reps = engine.runReplicated(profiles, 1);
+    ASSERT_EQ(reps.size(), 1u);
+    EXPECT_TRUE(c.histogram == reps[0].histogram);
+    EXPECT_EQ(c.instructions(), reps[0].instructions());
+}
+
+TEST(ParallelEngine, SameSeedTwiceIdenticalWorkloadResult)
+{
+    auto profile = wkl::timesharing1Profile();
+    profile.users = 6;
+    sim::ExperimentRunner runner(smallConfig());
+    auto a = runner.runWorkload(profile);
+    auto b = runner.runWorkload(profile);
+    expectWorkloadResultsEqual(a, b);
+}
+
+TEST(ParallelEngine, ReplicationSeedsVaryTheMeasurement)
+{
+    auto profile = wkl::timesharing1Profile();
+    profile.users = 6;
+    sim::EngineConfig ecfg;
+    ecfg.jobs = 2;
+    sim::ParallelEngine engine(smallConfig(), ecfg);
+    auto reps = engine.runReplicated({profile}, 2);
+    ASSERT_EQ(reps.size(), 2u);
+    ASSERT_TRUE(reps[0].allOk());
+    ASSERT_TRUE(reps[1].allOk());
+    // Different seeds generate different programs; byte-equal
+    // histograms would mean the replication seeds are not applied.
+    EXPECT_FALSE(reps[0].histogram == reps[1].histogram);
+}
+
+// ----- Histogram::merge algebra -----------------------------------------
+
+namespace
+{
+
+upc::Histogram
+randomHistogram(uint64_t seed)
+{
+    upc::Histogram h;
+    Rng rng(seed);
+    for (int i = 0; i < 4000; ++i) {
+        h.bumpCount(static_cast<ucode::UAddr>(
+            rng.below(upc::Histogram::NumBuckets)));
+        if (rng.chance(0.3))
+            h.bumpStall(static_cast<ucode::UAddr>(
+                rng.below(upc::Histogram::NumBuckets)));
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(HistogramMerge, CommutativeAndOrderIndependent)
+{
+    std::vector<upc::Histogram> parts;
+    for (uint64_t s = 1; s <= 6; ++s)
+        parts.push_back(randomHistogram(s));
+
+    upc::Histogram forward;
+    for (const auto &p : parts)
+        forward.merge(p);
+
+    upc::Histogram backward;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        backward.merge(*it);
+    EXPECT_TRUE(forward == backward);
+
+    // A few deterministic shuffles.
+    Rng rng(99);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<size_t> order(parts.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        upc::Histogram shuffled;
+        for (size_t i : order)
+            shuffled.merge(parts[i]);
+        EXPECT_TRUE(forward == shuffled);
+    }
+}
+
+TEST(HistogramMerge, Associative)
+{
+    auto a = randomHistogram(10);
+    auto b = randomHistogram(20);
+    auto c = randomHistogram(30);
+
+    // (a + b) + c
+    upc::Histogram left = a;
+    left.merge(b);
+    left.merge(c);
+
+    // a + (b + c)
+    upc::Histogram bc = b;
+    bc.merge(c);
+    upc::Histogram right = a;
+    right.merge(bc);
+
+    EXPECT_TRUE(left == right);
+    EXPECT_EQ(left.totalCycles(),
+              a.totalCycles() + b.totalCycles() + c.totalCycles());
+}
+
+// ----- per-worker deadlines / cancellation ------------------------------
+
+TEST(ParallelEngine, PreCancelledRunAbortsWithWatchdogError)
+{
+    std::atomic<bool> cancel{true};
+    auto cfg = smallConfig();
+    cfg.cancel = &cancel;
+    sim::ExperimentRunner runner(cfg);
+    EXPECT_THROW(runner.runWorkload(wkl::timesharing1Profile()),
+                 upc780::WatchdogError);
+}
+
+TEST(ParallelEngine, ImpossibleDeadlineYieldsNotOkPartialResults)
+{
+    auto profile = wkl::timesharing1Profile();
+    // A budget far larger than the supervisor's poll period, so the
+    // run cannot slip under an expired deadline by finishing first.
+    auto cfg = smallConfig();
+    cfg.instructionsPerWorkload = 2000000;
+    cfg.warmupInstructions = 500000;
+    sim::EngineConfig ecfg;
+    ecfg.jobs = 2;
+    // Far below any possible run time: the supervisor must cancel the
+    // task, and the engine must record it as a not-ok partial result
+    // instead of crashing or hanging.
+    ecfg.taskDeadlineSeconds = 1e-6;
+    sim::ParallelEngine engine(cfg, ecfg);
+    auto c = engine.runComposite({profile, profile});
+    ASSERT_EQ(c.workloads.size(), 2u);
+    for (const auto &w : c.workloads) {
+        EXPECT_FALSE(w.ok);
+        EXPECT_NE(w.error.find("cancelled"), std::string::npos)
+            << w.error;
+    }
+}
+
+// ----- concurrency stress (meaningful under TSan) -----------------------
+
+TEST(ParallelStress, LoggerIsSafeAndSilentUnderConcurrentUse)
+{
+    // Quiet level: the race we care about is on the cached level and
+    // the stream, not the console contents.
+    setenv("UPC780_LOG_LEVEL", "quiet", 1);
+    upc780::detail::reloadLogLevel();
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 500; ++i) {
+                warn("stress warn %d/%d", t, i);
+                inform("stress inform %d/%d", t, i);
+                if (i % 100 == 0)
+                    upc780::detail::reloadLogLevel();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    unsetenv("UPC780_LOG_LEVEL");
+    upc780::detail::reloadLogLevel();
+    SUCCEED();
+}
+
+TEST(ParallelStress, PerStreamRngsAreIndependentAndDeterministic)
+{
+    constexpr int Streams = 8;
+    constexpr int Draws = 10000;
+    std::vector<std::vector<uint64_t>> out(Streams);
+
+    std::vector<std::thread> threads;
+    for (int s = 0; s < Streams; ++s) {
+        threads.emplace_back([s, &out] {
+            Rng rng = Rng::forStream(0x780, static_cast<uint64_t>(s));
+            out[s].reserve(Draws);
+            for (int i = 0; i < Draws; ++i)
+                out[s].push_back(rng.next());
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Concurrent generation must equal sequential generation...
+    for (int s = 0; s < Streams; ++s) {
+        Rng ref = Rng::forStream(0x780, static_cast<uint64_t>(s));
+        for (int i = 0; i < Draws; ++i)
+            ASSERT_EQ(out[s][i], ref.next()) << "stream " << s;
+    }
+    // ...and distinct streams must not collide.
+    for (int a = 0; a < Streams; ++a)
+        for (int b = a + 1; b < Streams; ++b)
+            EXPECT_NE(out[a][0], out[b][0]);
+}
+
+TEST(ParallelStress, DeriveSeedStreamsDistinct)
+{
+    const uint64_t base = 0x780780780780ULL;
+    EXPECT_EQ(deriveSeed(base, 0), base);  // replication 0 == serial
+    std::vector<uint64_t> seen;
+    for (uint64_t s = 0; s < 256; ++s)
+        seen.push_back(deriveSeed(base, s));
+    for (size_t a = 0; a < seen.size(); ++a)
+        for (size_t b = a + 1; b < seen.size(); ++b)
+            ASSERT_NE(seen[a], seen[b]) << a << " vs " << b;
+}
