@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/hostprof.hh"
 #include "sim/engine.hh"
 #include "ucode/controlstore.hh"
 #include "workload/profile.hh"
@@ -40,6 +41,18 @@ runComposite()
     Measurement m;
     m.composite = engine.runComposite(wkl::paperWorkloads());
     m.image = &ucode::microcodeImage();
+
+    // Sim-rate summary: per-worker measure-phase wall clock summed
+    // across the composite, so the rate is per-worker-second (the
+    // comparable figure across job counts).
+    const uint64_t measured = m.composite.instructions();
+    const uint64_t cycles = m.composite.histogram.totalCycles();
+    std::fprintf(stderr,
+                 "[harness] sim rate: %.0f KIPS, %.0f simulated KHz "
+                 "(%.2fx slowdown vs the 5 MHz 780)\n",
+                 obs::kips(m.composite.host, measured),
+                 obs::simKhz(m.composite.host, cycles),
+                 obs::slowdown(m.composite.host, cycles));
     return m;
 }
 

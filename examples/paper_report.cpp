@@ -7,20 +7,26 @@
  * count.
  *
  * Usage: paper_report [instructions-per-workload] [--markdown]
- *                     [--jobs N] [--seeds K]
+ *                     [--jobs N] [--seeds K] [--metrics]
  *
- *   --jobs N   worker threads (default: UPC780_JOBS, else all cores)
- *   --seeds K  seed replications per workload; with K > 1 the report
- *              covers replication 0 (identical to a K=1 run) and a
- *              seed-sweep summary (mean/stddev CPI across the K
- *              replications) is appended
+ *   --jobs N    worker threads (default: UPC780_JOBS, else all cores)
+ *   --seeds K   seed replications per workload; with K > 1 the report
+ *               covers replication 0 (identical to a K=1 run) and a
+ *               seed-sweep summary (mean/stddev CPI across the K
+ *               replications) is appended
+ *   --metrics   append the observability summary: per-workload phase
+ *               timings and sim rate (KIPS / simulated KHz / slowdown)
+ *               plus the composite event-counter table
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "common/stats.hh"
+#include "obs/counters.hh"
+#include "obs/hostprof.hh"
 #include "sim/engine.hh"
 #include "ucode/controlstore.hh"
 #include "upc/report.hh"
@@ -34,10 +40,13 @@ main(int argc, char **argv)
     uint64_t instructions = 100000;
     unsigned jobs = 0;
     unsigned seeds = 1;
+    bool metrics = false;
     upc::ReportOptions opt;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--markdown"))
             opt.markdown = true;
+        else if (!std::strcmp(argv[i], "--metrics"))
+            metrics = true;
         else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
             jobs = static_cast<unsigned>(strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
@@ -79,6 +88,21 @@ main(int argc, char **argv)
                     "min %.3f  max %.3f\n",
                     cpi.mean(), cpi.stddev(), 100.0 * cpi.relStddev(),
                     cpi.min(), cpi.max());
+    }
+
+    if (metrics) {
+        std::vector<obs::MetricsRow> rows;
+        for (const auto &w : composite.workloads) {
+            obs::MetricsRow row;
+            row.name = w.name;
+            row.instructions = w.obs.value(obs::Ev::IboxDecodes);
+            row.cycles = w.cycles;
+            row.host = w.host;
+            rows.push_back(row);
+        }
+        std::printf("\n");
+        std::fputs(obs::writeMetrics(rows, composite.obs).c_str(),
+                   stdout);
     }
     return 0;
 }

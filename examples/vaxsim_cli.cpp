@@ -25,6 +25,8 @@
 
 #include "arch/decoder.hh"
 #include "common/stats.hh"
+#include "obs/counters.hh"
+#include "obs/hostprof.hh"
 #include "cpu/trace.hh"
 #include "os/kernel.hh"
 #include "sim/engine.hh"
@@ -61,6 +63,7 @@ struct EngineArgs
 {
     unsigned jobs = 0;
     unsigned seeds = 1;
+    bool metrics = false;
 
     int
     extract(int argc, char **argv)
@@ -73,6 +76,8 @@ struct EngineArgs
             else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
                 seeds = static_cast<unsigned>(
                     strtoul(argv[++i], nullptr, 0));
+            else if (!std::strcmp(argv[i], "--metrics"))
+                metrics = true;
             else
                 argv[kept++] = argv[i];
         }
@@ -81,6 +86,23 @@ struct EngineArgs
         return kept;
     }
 };
+
+/** The --metrics appendix shared by `run` and `report`. */
+void
+printMetrics(const sim::CompositeResult &c)
+{
+    std::vector<obs::MetricsRow> rows;
+    for (const auto &w : c.workloads) {
+        obs::MetricsRow row;
+        row.name = w.name;
+        row.instructions = w.obs.value(obs::Ev::IboxDecodes);
+        row.cycles = w.cycles;
+        row.host = w.host;
+        rows.push_back(row);
+    }
+    std::printf("\n");
+    std::fputs(obs::writeMetrics(rows, c.obs).c_str(), stdout);
+}
 
 int
 cmdRun(int argc, char **argv)
@@ -116,6 +138,8 @@ cmdRun(int argc, char **argv)
                     ea.seeds, cpi.mean(), cpi.stddev(),
                     100.0 * cpi.relStddev());
     }
+    if (ea.metrics)
+        printMetrics(reps.front());
     return 0;
 }
 
@@ -150,6 +174,8 @@ cmdReport(int argc, char **argv)
                     cpi.mean(), cpi.stddev(), 100.0 * cpi.relStddev(),
                     cpi.min(), cpi.max());
     }
+    if (ea.metrics)
+        printMetrics(c);
     return 0;
 }
 

@@ -44,6 +44,26 @@ UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 4 \
 cmp "$BUILD/report-serial.txt" "$BUILD/report-jobs4.txt"
 echo "identical"
 
+echo "== obs-off build: golden tables identical without the layer =="
+cmake -S . -B "$BUILD-noobs" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUPC780_OBS=OFF
+cmake --build "$BUILD-noobs" -j "$JOBS"
+ctest --test-dir "$BUILD-noobs" -L golden --output-on-failure
+
+if command -v gcov >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1
+then
+    echo "== coverage build (src/obs must stay >= 90% line coverage) =="
+    cmake -S . -B "$BUILD-cov" -DCMAKE_BUILD_TYPE=Debug \
+        -DUPC780_COVERAGE=ON
+    cmake --build "$BUILD-cov" -j "$JOBS"
+    ctest --test-dir "$BUILD-cov" -L "obs|golden|lint" \
+        --output-on-failure
+    python3 scripts/coverage_report.py "$BUILD-cov" --root . \
+        --fail-under src/obs=90
+else
+    echo "== gcov/python3 unavailable; skipping coverage report =="
+fi
+
 echo "== asan build (faults + lint tests) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address

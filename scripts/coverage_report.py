@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage report for a --coverage build.
+
+Walks a build tree for .gcda note files, asks gcov for JSON
+intermediate output (no gcovr/lcov needed), merges execution counts
+per source line across translation units, and prints line coverage
+aggregated by source directory. Directories named with --fail-under
+fail the run when they miss their floor:
+
+    coverage_report.py BUILD_DIR [--fail-under DIR=PCT]...
+
+Used by scripts/check.sh with --fail-under src/obs=90: the
+observability layer is the one subsystem whose correctness argument
+leans on a differential test suite, so untested lines there are
+unverified instrumentation.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def gcov_json(gcda, build_dir):
+    """Run gcov in JSON mode; yields one parsed document per line."""
+    try:
+        out = subprocess.run(
+            ["gcov", "--json-format", "--stdout", gcda],
+            capture_output=True,
+            cwd=build_dir,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument(
+        "--root", default=None, help="repo root (default: build_dir/..)"
+    )
+    ap.add_argument(
+        "--fail-under",
+        action="append",
+        default=[],
+        metavar="DIR=PCT",
+        help="fail if DIR's line coverage is below PCT",
+    )
+    args = ap.parse_args()
+
+    build_dir = os.path.realpath(args.build_dir)
+    root = os.path.realpath(args.root or os.path.join(build_dir, ".."))
+
+    floors = {}
+    for spec in args.fail_under:
+        d, _, pct = spec.partition("=")
+        floors[d.rstrip("/")] = float(pct)
+
+    # file -> line -> max count seen in any TU.
+    lines = defaultdict(lambda: defaultdict(int))
+    n_gcda = 0
+    for gcda in find_gcda(build_dir):
+        n_gcda += 1
+        for doc in gcov_json(gcda, build_dir):
+            for f in doc.get("files", []):
+                path = f.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(doc.get("current_working_directory", build_dir), path)
+                path = os.path.realpath(path)
+                if not path.startswith(root + os.sep):
+                    continue  # system and third-party headers
+                rel = os.path.relpath(path, root)
+                if rel.startswith(os.path.join(build_dir, "")):
+                    continue
+                tracked = lines[rel]
+                for ln in f.get("lines", []):
+                    no = ln.get("line_number")
+                    cnt = ln.get("count", 0)
+                    if no is not None:
+                        tracked[no] = max(tracked[no], cnt)
+
+    if n_gcda == 0:
+        print("coverage: no .gcda files under", build_dir, file=sys.stderr)
+        return 2
+    if not lines:
+        print("coverage: gcov produced no usable data", file=sys.stderr)
+        return 2
+
+    def dir_key(rel):
+        parts = rel.split(os.sep)
+        if len(parts) >= 3 and parts[0] == "src":
+            return os.path.join(parts[0], parts[1])
+        return parts[0] if len(parts) == 1 else os.path.dirname(rel)
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    for rel, tracked in lines.items():
+        covered = sum(1 for c in tracked.values() if c > 0)
+        per_dir[dir_key(rel)][0] += covered
+        per_dir[dir_key(rel)][1] += len(tracked)
+
+    print("Line coverage by directory:")
+    total_cov = total_all = 0
+    for d in sorted(per_dir):
+        cov, tot = per_dir[d]
+        total_cov += cov
+        total_all += tot
+        print("  %-20s %6.1f%%  (%d/%d lines)" % (d, 100.0 * cov / tot, cov, tot))
+    print("  %-20s %6.1f%%  (%d/%d lines)" % ("TOTAL", 100.0 * total_cov / total_all, total_cov, total_all))
+
+    status = 0
+    for d, floor in sorted(floors.items()):
+        if d not in per_dir:
+            print("coverage: no data for %s" % d, file=sys.stderr)
+            status = 1
+            continue
+        cov, tot = per_dir[d]
+        pct = 100.0 * cov / tot
+        if pct < floor:
+            print(
+                "coverage: %s at %.1f%% is below the %.0f%% floor" % (d, pct, floor),
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "obs/trace.hh"
 
 namespace upc780::cpu
 {
@@ -63,9 +64,24 @@ Ebox::setCc(bool n, bool z, bool v, bool c)
 CycleOut
 Ebox::cycle(uint64_t now)
 {
+#if UPC780_OBS_ENABLED
+    obsEv_ = obs::CycleEvents{};
+    CycleOut out = cycleInner(now);
+    obs::emitCycle(obsEv_, out.stalled);
+    return out;
+#else
+    return cycleInner(now);
+#endif
+}
+
+CycleOut
+Ebox::cycleInner(uint64_t now)
+{
     now_ = now;
-    if (halted_)
+    if (halted_) {
+        obsEv_.halt = true;
         return {img_.marks.halted, false, true};
+    }
 
     // Read/write stall cycles in progress: the stalled microinstruction
     // sits at its address accumulating stalled counts (paper §4.3).
@@ -87,8 +103,10 @@ Ebox::cycle(uint64_t now)
         if (t == 0) {
             if (ibox_.tbMissPending()) {
                 startTrap(TrapKind::TbMissI, ibox_.tbMissVa());
+                obsEv_.abort = true;
                 return {img_.marks.abort, false, false};
             }
+            obsEv_.ibStall = true;
             return {pendStallAddr_, false, false};
         }
         pendDispatch_ = false;
@@ -106,6 +124,7 @@ Ebox::runCycle(uint64_t now)
     // is retried at most once so injection cannot wedge the machine.
     if (fault_ && !csRetried_ && fault_->onCsFetch()) {
         csRetried_ = true;
+        obsEv_.abort = true;
         return {img_.marks.abort, false, false};
     }
     csRetried_ = false;
@@ -120,8 +139,10 @@ Ebox::runCycle(uint64_t now)
         if (!ibSatisfied(op, need)) {
             if (ibox_.tbMissPending() && ibox_.available() < need) {
                 startTrap(TrapKind::TbMissI, ibox_.tbMissVa());
+                obsEv_.abort = true;
                 return {img_.marks.abort, false, false};
             }
+            obsEv_.ibStall = true;
             return {ibStallAddrFor(op), false, false};
         }
     }
@@ -136,6 +157,7 @@ Ebox::runCycle(uint64_t now)
             if (op.mem != Mem::ReadP && mapEnabled_) {
                 if (!tb_.lookup(taddr_, false, pa)) {
                     startTrap(TrapKind::TbMissD, taddr_);
+                    obsEv_.abort = true;
                     return {img_.marks.abort, false, false};
                 }
             }
@@ -164,6 +186,15 @@ Ebox::runCycle(uint64_t now)
 
     // 3. Completion: consume I-stream bytes, run the datapath, and
     // sequence to the next microinstruction.
+    //
+    // The obs read/write classification is by the word's static memory
+    // function — matching the analyzer's column rule — so a suppressed
+    // memory op (dpPre said no) still counts, exactly as its histogram
+    // bucket does.
+    if (op.mem == Mem::ReadV || op.mem == Mem::ReadP)
+        obsEv_.memRead = true;
+    else if (op.mem == Mem::WriteV)
+        obsEv_.memWrite = true;
     UAddr attributed = upc_;
     completeUop(op);
     return {attributed, false, halted_};
@@ -234,6 +265,7 @@ Ebox::consumeIb(const MicroOp &op)
         curResultIdx_ = 0;
         modifyPending_ = false;
         haveModifyMem_ = false;
+        obsEv_.decode = true;
         loopCount_ = 0;
         reads_.clear();
         readIdx_ = 0;
@@ -574,6 +606,9 @@ Ebox::endInstruction()
         intVector_ = McheckScbVector;
         intIpl_ = 31;
         ++mchecksDelivered_;
+        obsEv_.mcheck = true;
+        obs::event(obs::Cat::Irq, obs::Code::MachineCheck, now_,
+                   mcheckCode_);
         return img_.marks.machineCheck;
     }
 
@@ -603,6 +638,9 @@ Ebox::endInstruction()
             prRegs_[mmu::pr::SISR] &= ~(1u << best_level);
         intVector_ = best_vector;
         intIpl_ = best_level;
+        obsEv_.irq = true;
+        obs::event(obs::Cat::Irq, obs::Code::IrqDispatch, now_,
+                   best_vector, best_level);
         return img_.marks.intDispatch;
     }
     return img_.marks.decode;
@@ -611,6 +649,13 @@ Ebox::endInstruction()
 void
 Ebox::startTrap(TrapKind kind, VAddr va)
 {
+    if (kind == TrapKind::TbMissD) {
+        obsEv_.tbMissD = true;
+        obs::event(obs::Cat::Tb, obs::Code::TbMissD, now_, va);
+    } else {
+        obsEv_.tbMissI = true;
+        obs::event(obs::Cat::Tb, obs::Code::TbMissI, now_, va);
+    }
     trapKind_ = kind;
     missVa_ = va;
     trappedUpc_ = upc_;

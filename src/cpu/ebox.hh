@@ -30,6 +30,7 @@
 #include "mmu/pagetable.hh"
 #include "mmu/prreg.hh"
 #include "mmu/tb.hh"
+#include "obs/counters.hh"
 #include "ucode/controlstore.hh"
 
 namespace upc780::fault
@@ -194,6 +195,14 @@ class Ebox
     enum class TrapKind : uint8_t { None, TbMissD, TbMissI };
 
     // ----- cycle machinery -------------------------------------------------
+    /**
+     * cycle() body. The public cycle() wraps it to classify the
+     * finished cycle into the obs counter fabric *after* the CycleOut
+     * is final — the same post-cycle instant the monitor probe
+     * observes — so mid-cycle monitor gating (the OS-assist switch
+     * hook) affects both bookkeepings identically.
+     */
+    CycleOut cycleInner(uint64_t now);
     CycleOut runCycle(uint64_t now);
     bool ibSatisfied(const ucode::MicroOp &op, uint32_t &need) const;
     ucode::UAddr ibStallAddrFor(const ucode::MicroOp &op) const;
@@ -340,6 +349,10 @@ class Ebox
     uint64_t instructions_ = 0;
     uint64_t now_ = 0;  //!< cycle timestamp during cycle()
     bool rmodeOpt_ = false;
+
+    // What happened this cycle, for the obs counter fabric; flags are
+    // raised at the decision points and emitted once per cycle.
+    obs::CycleEvents obsEv_;
 };
 
 } // namespace upc780::cpu

@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "obs/counters.hh"
 
 namespace upc780::cpu
 {
@@ -22,6 +23,7 @@ IBox::redirect(VAddr pc)
     // the first fetch of the new stream goes out a cycle later.
     justRedirected_ = true;
     ++stats_.redirects;
+    obs::count(obs::Ev::IbRedirects);
 }
 
 uint8_t
@@ -96,6 +98,7 @@ IBox::startFill(uint64_t now)
     fillReadyAt_ = ready > now + 2 ? ready : now + 2;
     fillPending_ = true;
     ++stats_.fills;
+    obs::count(obs::Ev::IbFills);
 }
 
 } // namespace upc780::cpu

@@ -37,11 +37,13 @@ InstrTracer::cycle(ucode::UAddr upc, bool stalled)
     rec.psl = e.psl();
 
     // Safely fetch up to 24 instruction bytes through the map (the
-    // stream may end at an unmapped page boundary).
+    // stream may end at an unmapped page boundary). Without
+    // disassembly only the opcode byte is needed.
     uint8_t buf[24];
+    uint32_t want = disassemble_ ? sizeof(buf) : 1;
     uint32_t got = 0;
     const auto &memory = machine_.memsys().memory();
-    for (; got < sizeof(buf); ++got) {
+    for (; got < want; ++got) {
         arch::VAddr va = rec.pc + got;
         if (e.mapEnabled()) {
             auto pa = mmu::walk(memory, e.mapRegisters(), va);
@@ -56,6 +58,10 @@ InstrTracer::cycle(ucode::UAddr upc, bool stalled)
     }
     if (got)
         rec.opcode = buf[0];
+    if (sink_) {
+        sink_->emit(obs::Cat::Instr, obs::Code::InstrRetired,
+                    machine_.cycles(), rec.pc, rec.opcode);
+    }
     if (disassemble_ && got) {
         arch::DecodedInst di;
         if (decodeInstruction({buf, got}, di))

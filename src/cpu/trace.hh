@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cpu/vax780.hh"
+#include "obs/trace.hh"
 
 namespace upc780::cpu
 {
@@ -55,6 +56,16 @@ class InstrTracer : public CycleProbe
 
     void clear();
 
+    /**
+     * Forward each retired instruction into a structured event stream
+     * (obs::Cat::Instr, arg0 = pc, arg1 = opcode, ts = machine
+     * cycles): the bridge from this debugging ring into the obs
+     * tracer, so instruction retirement appears on the same Perfetto
+     * timeline as TB misses, interrupts, and context switches. Null
+     * detaches.
+     */
+    void setEventSink(obs::EventTracer *sink) { sink_ = sink; }
+
   private:
     Vax780 &machine_;
     size_t depth_;
@@ -63,6 +74,7 @@ class InstrTracer : public CycleProbe
     size_t next_ = 0;
     uint64_t seq_ = 0;
     ucode::UAddr decodeAddr_;
+    obs::EventTracer *sink_ = nullptr;
 };
 
 } // namespace upc780::cpu

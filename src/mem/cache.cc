@@ -3,6 +3,7 @@
 #include "common/bitfield.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "obs/counters.hh"
 
 namespace upc780::mem
 {
@@ -70,12 +71,15 @@ Cache::readAccess(PAddr pa, bool istream)
         ++stats_.iReads;
     else
         ++stats_.dReads;
+    obs::count(istream ? obs::Ev::CacheIReads : obs::Ev::CacheDReads);
 
     if (!config_.enabled) {
         if (istream)
             ++stats_.iReadMisses;
         else
             ++stats_.dReadMisses;
+        obs::count(istream ? obs::Ev::CacheIReadMisses
+                           : obs::Ev::CacheDReadMisses);
         return false;
     }
 
@@ -88,6 +92,8 @@ Cache::readAccess(PAddr pa, bool istream)
         ++stats_.iReadMisses;
     else
         ++stats_.dReadMisses;
+    obs::count(istream ? obs::Ev::CacheIReadMisses
+                       : obs::Ev::CacheDReadMisses);
     fill(set, tag);
     return false;
 }
@@ -96,6 +102,7 @@ bool
 Cache::writeAccess(PAddr pa)
 {
     ++stats_.writes;
+    obs::count(obs::Ev::CacheWrites);
     if (!config_.enabled)
         return false;
     uint32_t set = setIndex(pa);
@@ -103,6 +110,7 @@ Cache::writeAccess(PAddr pa)
     // No write-allocate: a write miss leaves the cache unchanged.
     if (lookup(set, tag) >= 0) {
         ++stats_.writeHits;
+        obs::count(obs::Ev::CacheWriteHits);
         return true;
     }
     return false;

@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "obs/counters.hh"
 
 namespace upc780::mem
 {
@@ -62,6 +63,7 @@ MemorySubsystem::read(PAddr pa, uint32_t size, uint64_t now)
     }
     if (r.unaligned)
         ++unaligned_;
+        obs::count(obs::Ev::MemUnalignedRefs);
     r.data = memory_.read(pa, size);
     return r;
 }
@@ -92,6 +94,7 @@ MemorySubsystem::write(PAddr pa, uint32_t size, uint64_t data,
 
     if (r.unaligned)
         ++unaligned_;
+        obs::count(obs::Ev::MemUnalignedRefs);
     memory_.write(pa, size, data);
     return r;
 }

@@ -5,6 +5,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "mem/sbi.hh"
+#include "obs/counters.hh"
 
 namespace upc780::mem
 {
@@ -21,6 +22,7 @@ uint64_t
 WriteBuffer::issue(uint64_t now)
 {
     ++stats_.writes;
+    obs::count(obs::Ev::WbWrites);
 
     // The buffer entry that frees earliest.
     auto slot = std::min_element(inflight_.begin(), inflight_.end());
@@ -29,6 +31,7 @@ WriteBuffer::issue(uint64_t now)
         stall = *slot - now;
         ++stats_.stalls;
         stats_.stallCycles += stall;
+        obs::count(obs::Ev::WbStallCycles, stall);
     }
     uint64_t accepted = now + stall;
     *slot = sbi_.startWrite(accepted);

@@ -4,6 +4,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "obs/counters.hh"
 
 namespace upc780::mmu
 {
@@ -49,6 +50,7 @@ TranslationBuffer::lookup(VAddr va, bool istream, PAddr &pa)
             ++stats_.parityInvalidates;
         } else {
             pa = (e.pfn << PageShift) | (va & (PageBytes - 1));
+            obs::count(istream ? obs::Ev::TbIHits : obs::Ev::TbDHits);
             return true;
         }
     }
@@ -57,6 +59,7 @@ TranslationBuffer::lookup(VAddr va, bool istream, PAddr &pa)
         ++stats_.iMisses;
     else
         ++stats_.dMisses;
+    obs::count(istream ? obs::Ev::TbIMisses : obs::Ev::TbDMisses);
     return false;
 }
 
@@ -81,6 +84,7 @@ TranslationBuffer::fill(VAddr va, uint32_t pfn)
     e.tag = tag;
     e.pfn = pfn;
     ++stats_.fills;
+    obs::count(obs::Ev::TbFills);
 }
 
 void
@@ -89,6 +93,7 @@ TranslationBuffer::flushProcess()
     for (uint32_t s = 0; s < config_.entriesPerHalf; ++s)
         entries_[s].valid = false;
     ++stats_.processFlushes;
+    obs::count(obs::Ev::TbFlushes);
 }
 
 void
@@ -97,6 +102,7 @@ TranslationBuffer::flushAll()
     for (Entry &e : entries_)
         e.valid = false;
     ++stats_.allFlushes;
+    obs::count(obs::Ev::TbFlushes);
 }
 
 void

@@ -1,0 +1,102 @@
+#include "obs/hostprof.hh"
+
+#include <cstdio>
+
+#include "obs/counters.hh"
+
+namespace upc780::obs
+{
+
+std::string_view
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Build:
+        return "build";
+      case Phase::Warmup:
+        return "warmup";
+      case Phase::Measure:
+        return "measure";
+      default:
+        return "?";
+    }
+}
+
+namespace
+{
+
+double
+measureSeconds(const HostProfile &p)
+{
+    return static_cast<double>(p.value(Phase::Measure)) * 1e-9;
+}
+
+} // namespace
+
+double
+kips(const HostProfile &p, uint64_t instructions)
+{
+    double s = measureSeconds(p);
+    return s > 0 ? static_cast<double>(instructions) / s / 1e3 : 0.0;
+}
+
+double
+simKhz(const HostProfile &p, uint64_t cycles)
+{
+    double s = measureSeconds(p);
+    return s > 0 ? static_cast<double>(cycles) / s / 1e3 : 0.0;
+}
+
+double
+slowdown(const HostProfile &p, uint64_t cycles)
+{
+    // Simulated seconds at 200 ns per cycle.
+    double sim_s = static_cast<double>(cycles) * 200e-9;
+    double host_s = measureSeconds(p);
+    return sim_s > 0 ? host_s / sim_s : 0.0;
+}
+
+std::string
+writeMetrics(const std::vector<MetricsRow> &rows,
+             const Snapshot &composite)
+{
+    std::string out;
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %9s %9s %9s %9s %9s %9s\n", "workload",
+                  "build-ms", "warm-ms", "meas-ms", "KIPS", "sim-KHz",
+                  "slowdown");
+    out += line;
+    MetricsRow total;
+    total.name = "total";
+    for (const MetricsRow &r : rows) {
+        std::snprintf(
+            line, sizeof(line),
+            "  %-24.24s %9.1f %9.1f %9.1f %9.0f %9.0f %7.2fx\n",
+            r.name.c_str(), r.host.value(Phase::Build) * 1e-6,
+            r.host.value(Phase::Warmup) * 1e-6,
+            r.host.value(Phase::Measure) * 1e-6, kips(r.host, r.instructions),
+            simKhz(r.host, r.cycles), slowdown(r.host, r.cycles));
+        out += line;
+        total.instructions += r.instructions;
+        total.cycles += r.cycles;
+        total.host.accumulate(r.host);
+    }
+    if (rows.size() > 1) {
+        std::snprintf(
+            line, sizeof(line),
+            "  %-24.24s %9.1f %9.1f %9.1f %9.0f %9.0f %7.2fx\n",
+            total.name.c_str(), total.host.value(Phase::Build) * 1e-6,
+            total.host.value(Phase::Warmup) * 1e-6,
+            total.host.value(Phase::Measure) * 1e-6,
+            kips(total.host, total.instructions),
+            simKhz(total.host, total.cycles),
+            slowdown(total.host, total.cycles));
+        out += line;
+    }
+    out += "\nEvent counters (measurement interval):\n";
+    out += writeCounterTable(composite);
+    return out;
+}
+
+} // namespace upc780::obs

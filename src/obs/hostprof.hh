@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Host-side profiling: scoped RAII timers that attribute wall-clock
+ * time to experiment phases, and the sim-rate summary (KIPS of guest
+ * instructions, simulated KHz, slowdown against the real 780's 5 MHz
+ * cycle clock) surfaced by `--metrics` and the bench harness.
+ *
+ * Host nanoseconds are *not* part of the deterministic result surface:
+ * two identical runs produce identical counters and histograms but
+ * different timings, so nothing here may feed an equality check.
+ */
+
+#ifndef UPC780_OBS_HOSTPROF_HH
+#define UPC780_OBS_HOSTPROF_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upc780::obs
+{
+
+struct Snapshot;
+
+/** Experiment phases the runner times. */
+enum class Phase : uint32_t
+{
+    Build,    //!< machine construction, lint, boot
+    Warmup,   //!< unmeasured warm-up instructions
+    Measure,  //!< the measurement interval itself
+    NumPhases
+};
+
+constexpr size_t NumPhases = static_cast<size_t>(Phase::NumPhases);
+
+std::string_view phaseName(Phase p);
+
+/** Wall-clock nanoseconds per phase; sums like every other counter. */
+struct HostProfile
+{
+    std::array<uint64_t, NumPhases> ns{};
+
+    uint64_t value(Phase p) const { return ns[size_t(p)]; }
+
+    void
+    accumulate(const HostProfile &o)
+    {
+        for (size_t i = 0; i < NumPhases; ++i)
+            ns[i] += o.ns[i];
+    }
+};
+
+/** Times a scope and adds the elapsed nanoseconds to one phase. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(HostProfile &profile, Phase phase)
+        : profile_(profile), phase_(phase),
+          t0_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedTimer()
+    {
+        auto dt = std::chrono::steady_clock::now() - t0_;
+        profile_.ns[size_t(phase_)] += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    HostProfile &profile_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/** Guest kilo-instructions per host second over the measure phase. */
+double kips(const HostProfile &p, uint64_t instructions);
+
+/** Simulated kilo-cycles per host second over the measure phase. */
+double simKhz(const HostProfile &p, uint64_t cycles);
+
+/**
+ * Slowdown against the real machine: host seconds per simulated
+ * second (the 780 runs one cycle per 200 ns, i.e. 5000 simulated KHz).
+ */
+double slowdown(const HostProfile &p, uint64_t cycles);
+
+/** One row of the --metrics table. */
+struct MetricsRow
+{
+    std::string name;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    HostProfile host;
+};
+
+/**
+ * Render the per-workload metrics table (phase times and sim rate)
+ * followed by the composite event-counter table.
+ */
+std::string writeMetrics(const std::vector<MetricsRow> &rows,
+                         const Snapshot &composite);
+
+} // namespace upc780::obs
+
+#endif // UPC780_OBS_HOSTPROF_HH

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "mmu/pagetable.hh"
 #include "mmu/prreg.hh"
+#include "obs/trace.hh"
 
 namespace upc780::os
 {
@@ -366,6 +367,7 @@ VmsLite::requestResched(cpu::Ebox &ebox)
 {
     ebox.backdoorWrite(kdata::ReschedFlag, 4, 1);
     ++stats_.reschedRequests;
+    obs::count(obs::Ev::OsReschedRequests);
 }
 
 void
@@ -406,6 +408,7 @@ VmsLite::pickNext(cpu::Ebox &ebox, bool first)
         ebox.backdoorWrite(procs_[current_].pcbVa + 4 * pcb::Pc, 4,
                            schedResumeVa_);
         ++stats_.contextSwitches;
+        obs::count(obs::Ev::OsContextSwitches);
     }
 
     // Round-robin over runnable processes; the Null process runs when
@@ -426,6 +429,11 @@ VmsLite::pickNext(cpu::Ebox &ebox, bool first)
 
     current_ = next;
     procs_[next].quantumLeft = cfg_.quantumTicks;
+    if (!first) {
+        obs::event(obs::Cat::Os, obs::Code::CtxSwitch, machine_.cycles(),
+                   static_cast<uint64_t>(next),
+                   procs_[next].isIdle ? 1 : 0);
+    }
     ebox.writePr(mmu::pr::PCBB, procs_[next].pcbVa);
     if (switchHook_)
         switchHook_(next, procs_[next].isIdle);
@@ -476,6 +484,9 @@ void
 VmsLite::onSyscall(cpu::Ebox &ebox, uint32_t code)
 {
     ++stats_.syscalls;
+    obs::count(obs::Ev::OsSyscalls);
+    obs::event(obs::Cat::Os, obs::Code::Syscall, machine_.cycles(), code,
+               static_cast<uint32_t>(current_));
     Process &cur = procs_[current_];
     switch (code) {
       case sys::TermWait: {

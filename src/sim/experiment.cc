@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "cpu/trace.hh"
 #include "sim/watchdog.hh"
 #include "ucode/controlstore.hh"
 #include "ulint/ulint.hh"
@@ -35,6 +36,8 @@ CompositeResult::add(WorkloadResult r)
         hw.accumulate(r.hw);
         osStats.accumulate(r.osStats);
         faultStats.accumulate(r.faultStats);
+        obs.accumulate(r.obs);
+        host.accumulate(r.host);
         timerInterrupts += r.timerInterrupts;
         terminalInterrupts += r.terminalInterrupts;
     }
@@ -102,8 +105,37 @@ delta(const HwCounters &a, const HwCounters &b)
 WorkloadResult
 ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
 {
+    // Observability for this run: a counter registry (gated to the
+    // measurement window, exactly like the monitor) and, when tracing
+    // was requested, a whole-run event ring. The scope is
+    // thread-local, so under the parallel engine — where each workload
+    // runs wholly on one worker thread — every instrumentation point
+    // in the machine below lands in precisely this run's instruments.
+    obs::CounterRegistry registry;
+    std::unique_ptr<obs::EventTracer> tracer;
+    if (cfg_.obs.traceDepth > 0) {
+        tracer = std::make_unique<obs::EventTracer>(cfg_.obs.traceDepth,
+                                                    cfg_.obs.traceMask);
+    }
+    obs::ObsScope scope(cfg_.obs.counters ? &registry : nullptr,
+                        tracer.get());
+    obs::HostProfile host;
+    auto build_timer = std::make_unique<obs::ScopedTimer>(
+        host, obs::Phase::Build);
+
     cpu::Vax780 machine(cfg_.machine);
     os::VmsLite vms(machine, cfg_.os);
+
+    // Retired-instruction events ride on the instruction tracer's
+    // decode-cycle probe (cpu/trace.hh), which knows the machine time.
+    std::unique_ptr<cpu::InstrTracer> instr_events;
+    if (tracer &&
+        (cfg_.obs.traceMask & static_cast<uint32_t>(obs::Cat::Instr))) {
+        instr_events = std::make_unique<cpu::InstrTracer>(
+            machine, 1, /*disassemble=*/false);
+        instr_events->setEventSink(tracer.get());
+        machine.attachProbe(instr_events.get());
+    }
 
     // Static verification: the histogram is only as trustworthy as the
     // control-store map it is interpreted against, so lint the image
@@ -140,14 +172,23 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     // excluded from measurement, as the paper's data reduction did.
     bool measuring = false;
     bool in_idle = false;
+    // The registry is gated in lockstep with the monitor: both flip
+    // mid-cycle inside the OS-assist microinstruction, and both
+    // bookkeepings observe a cycle only after it finishes (the probe
+    // list and the EBOX's deferred emit), so their windows cover the
+    // identical cycle set — the property the exact-equality
+    // cross-check tests rely on.
     vms.setSwitchHook([&](int, bool is_idle) {
         in_idle = is_idle;
         if (!measuring)
             return;
-        if (cfg_.excludeIdle && is_idle)
+        if (cfg_.excludeIdle && is_idle) {
             monitor.stop();
-        else
+            registry.setEnabled(false);
+        } else {
             monitor.start();
+            registry.setEnabled(true);
+        }
     });
 
     vms.boot();
@@ -190,37 +231,52 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
         }
     };
 
+    build_timer.reset();
+
     // Warm-up: run unmeasured.
-    while (machine.ebox().instructions() < cfg_.warmupInstructions) {
-        if (!machine.tick())
-            sim_throw(GuestError, "machine halted during warm-up");
-        if (machine.cycles() > max_cycles)
-            sim_throw(WatchdogError, "machine hung during warm-up\n%s",
-                      watchdog.diagnostic().c_str());
-        check_stuck("warm-up");
+    {
+        obs::ScopedTimer t(host, obs::Phase::Warmup);
+        while (machine.ebox().instructions() < cfg_.warmupInstructions) {
+            if (!machine.tick())
+                sim_throw(GuestError, "machine halted during warm-up");
+            if (machine.cycles() > max_cycles)
+                sim_throw(WatchdogError,
+                          "machine hung during warm-up\n%s",
+                          watchdog.diagnostic().c_str());
+            check_stuck("warm-up");
+        }
     }
 
     // Measurement interval.
     measuring = true;
-    if (!(cfg_.excludeIdle && in_idle))
+    if (!(cfg_.excludeIdle && in_idle)) {
         monitor.start();
+        registry.setEnabled(true);
+    }
+    obs::event(obs::Cat::Sim, obs::Code::MeasureStart, machine.cycles());
     HwCounters before = snapshot(machine);
     uint64_t cycles_at_start = machine.cycles();
 
-    while (monitor.histogram().count(decode_addr) <
-           cfg_.instructionsPerWorkload) {
-        if (!machine.tick())
-            sim_throw(GuestError, "machine halted during measurement");
-        if (machine.cycles() - cycles_at_start > max_cycles) {
-            sim_throw(WatchdogError,
-                      "measurement did not reach its instruction budget "
-                      "(%llu cycles elapsed)\n%s",
-                      static_cast<unsigned long long>(max_cycles),
-                      watchdog.diagnostic().c_str());
+    {
+        obs::ScopedTimer t(host, obs::Phase::Measure);
+        while (monitor.histogram().count(decode_addr) <
+               cfg_.instructionsPerWorkload) {
+            if (!machine.tick())
+                sim_throw(GuestError,
+                          "machine halted during measurement");
+            if (machine.cycles() - cycles_at_start > max_cycles) {
+                sim_throw(WatchdogError,
+                          "measurement did not reach its instruction "
+                          "budget (%llu cycles elapsed)\n%s",
+                          static_cast<unsigned long long>(max_cycles),
+                          watchdog.diagnostic().c_str());
+            }
+            check_stuck("measurement");
         }
-        check_stuck("measurement");
     }
     monitor.stop();
+    registry.setEnabled(false);
+    obs::event(obs::Cat::Sim, obs::Code::MeasureStop, machine.cycles());
 
     WorkloadResult r;
     r.name = profile.name;
@@ -233,6 +289,10 @@ ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
     if (injector)
         r.faultStats = injector->stats();
     r.errorLog = vms.errorLog();
+    r.obs = registry.snapshot();
+    r.host = host;
+    if (tracer)
+        r.trace = tracer->events();
 
     // Cycle-accounting audit: the UPC board increments exactly one
     // bucket counter per observed cycle, so the bucket sum must equal

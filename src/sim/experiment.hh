@@ -18,6 +18,9 @@
 
 #include "cpu/vax780.hh"
 #include "fault/fault.hh"
+#include "obs/counters.hh"
+#include "obs/hostprof.hh"
+#include "obs/trace.hh"
 #include "os/kernel.hh"
 #include "upc/monitor.hh"
 #include "workload/profile.hh"
@@ -55,6 +58,17 @@ struct WorkloadResult
 
     /** Injected-fault counters for the whole run (warm-up included). */
     fault::FaultStats faultStats;
+
+    /**
+     * Observability: event counters over the measurement interval (the
+     * live, second bookkeeping the differential tests check against
+     * the histogram), host wall-clock per phase (non-deterministic —
+     * never part of an equality check), and the structured event
+     * trace for the whole run when tracing was requested.
+     */
+    obs::Snapshot obs;
+    obs::HostProfile host;
+    std::vector<obs::TraceEvent> trace;
     /** Error-log entries the machine-check handler recorded. */
     std::vector<os::ErrorLogEntry> errorLog;
 
@@ -71,6 +85,8 @@ struct CompositeResult
     HwCounters hw;
     os::OsStats osStats;
     fault::FaultStats faultStats;
+    obs::Snapshot obs;
+    obs::HostProfile host;
     uint64_t timerInterrupts = 0;
     uint64_t terminalInterrupts = 0;
 
@@ -105,6 +121,13 @@ struct ExperimentConfig
     bool excludeIdle = true;
     /** Hard cycle cap (hang protection). */
     uint64_t maxCycles = 0;  //!< 0: derived from instruction budget
+
+    /**
+     * Observability level: counters default on (near-zero cost; set
+     * UPC780_OBS=off in the environment or clear `obs.counters` to
+     * disable), tracing defaults off. See obs/counters.hh.
+     */
+    obs::Config obs;
 
     /**
      * Fault-injection configuration. With all rates zero and an empty

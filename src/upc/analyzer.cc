@@ -323,6 +323,50 @@ HistogramAnalyzer::groupCycles(Group g) const
     return out;
 }
 
+uint64_t
+HistogramAnalyzer::readCycles() const
+{
+    uint64_t n = 0;
+    for (uint32_t a = 0; a < img_.allocated; ++a) {
+        Mem m = img_.ops[a].mem;
+        if (m == Mem::ReadV || m == Mem::ReadP)
+            n += hist_.count(static_cast<UAddr>(a));
+    }
+    return n;
+}
+
+uint64_t
+HistogramAnalyzer::writeCycles() const
+{
+    uint64_t n = 0;
+    for (uint32_t a = 0; a < img_.allocated; ++a) {
+        if (img_.ops[a].mem == Mem::WriteV)
+            n += hist_.count(static_cast<UAddr>(a));
+    }
+    return n;
+}
+
+uint64_t
+HistogramAnalyzer::ibStallCycles() const
+{
+    const auto &m = img_.marks;
+    return hist_.count(m.ibStallDecode) + hist_.count(m.ibStallSpec1) +
+           hist_.count(m.ibStallSpec26) + hist_.count(m.ibStallBdisp);
+}
+
+uint64_t
+HistogramAnalyzer::tbMissServices(bool istream) const
+{
+    return hist_.count(istream ? img_.marks.tbMissI
+                               : img_.marks.tbMissD);
+}
+
+uint64_t
+HistogramAnalyzer::irqDispatches() const
+{
+    return hist_.count(img_.marks.intDispatch);
+}
+
 TbMissStats
 HistogramAnalyzer::tbMisses() const
 {

@@ -171,6 +171,25 @@ class HistogramAnalyzer
     // ----- §4.2 TB misses --------------------------------------------------------------
     TbMissStats tbMisses() const;
 
+    // ----- exact event counts (observability cross-checks) -----------------
+    // Integer forms of quantities the double-valued table methods
+    // normalize per instruction. These are what the obs counter fabric
+    // counts live at the EBOX, so tests can demand *exact* equality
+    // between the two independent bookkeepings (histogram
+    // interpretation vs live classification); any rounding would
+    // launder real attribution bugs.
+
+    /** Execution counts at words whose memory function reads. */
+    uint64_t readCycles() const;
+    /** Execution counts at words whose memory function writes. */
+    uint64_t writeCycles() const;
+    /** Counts at the four "insufficient IB bytes" stall addresses. */
+    uint64_t ibStallCycles() const;
+    /** TB microtraps serviced (miss-routine entry executions). */
+    uint64_t tbMissServices(bool istream) const;
+    /** Interrupt dispatches (Table 7's headway numerator). */
+    uint64_t irqDispatches() const;
+
   private:
     /** Column of the execution counts at @p a. */
     Col countColumn(ucode::UAddr a) const;

@@ -45,17 +45,7 @@ class UpcMonitor : public cpu::CycleProbe
     uint64_t observedCycles() const { return observed_; }
 
     // ----- passive probe -------------------------------------------------
-    void
-    cycle(ucode::UAddr upc, bool stalled) override
-    {
-        if (!running_)
-            return;
-        ++observed_;
-        if (stalled)
-            histogram_.bumpStall(upc);
-        else
-            histogram_.bumpCount(upc);
-    }
+    void cycle(ucode::UAddr upc, bool stalled) override;
 
     // ----- Unibus register-level facade -----------------------------------
     // The board was programmed with a CSR and a data port; this mirrors

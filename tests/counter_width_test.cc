@@ -17,6 +17,8 @@
 #include "mem/memsys.hh"
 #include "mem/sbi.hh"
 #include "mem/writebuffer.hh"
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "upc/histogram.hh"
 #include "upc/monitor.hh"
@@ -54,6 +56,20 @@ static_assert(std::is_same_v<decltype(sim::WorkloadResult::cycles),
 static_assert(std::is_same_v<decltype(sim::HwCounters::writeStallCycles),
                              uint64_t>,
               "hardware stall counters must be 64-bit");
+
+// The obs fabric is a second, independent bookkeeping of the same
+// events — it must be at least as wide as the one it cross-checks.
+static_assert(
+    std::is_same_v<
+        decltype(std::declval<const obs::CounterRegistry>().value(
+            obs::Ev::EboxUops)),
+        uint64_t>,
+    "obs event counters must be 64-bit");
+static_assert(std::is_same_v<decltype(obs::Snapshot::counters),
+                             std::array<uint64_t, obs::NumEvents>>,
+              "obs snapshots must carry 64-bit counters");
+static_assert(std::is_same_v<decltype(obs::TraceEvent::ts), uint64_t>,
+              "trace timestamps are machine cycles and must be 64-bit");
 
 namespace
 {
@@ -122,4 +138,37 @@ TEST(CounterWidth, WriteBufferStallSurvivesPast32Bits)
     uint64_t stall = wb.issue(0);  // drain time is ~2^33 away
     EXPECT_GT(stall, uint64_t(UINT32_MAX));
     EXPECT_EQ(wb.stats().stallCycles.value(), stall);
+}
+
+TEST(CounterWidth, ObsRegistryCrosses32Bits)
+{
+    // Bulk-add path (e.g. WbStallCycles adds whole stall runs at
+    // once): one add can carry the registry straight past 2^32.
+    // Exercised directly so the check holds even in UPC780_OBS=OFF
+    // builds, where the count() hooks compile away.
+    obs::CounterRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::Ev::WbStallCycles, Big);
+    reg.bump(obs::Ev::WbStallCycles);
+    EXPECT_EQ(reg.value(obs::Ev::WbStallCycles), Big + 1);
+    EXPECT_GT(reg.value(obs::Ev::WbStallCycles),
+              uint64_t(UINT32_MAX));
+}
+
+TEST(CounterWidth, ObsSnapshotAccumulateCrosses32Bits)
+{
+    // The composite result sums per-workload snapshots exactly like
+    // Histogram::accumulate; the sum is the first place a 32-bit
+    // element would wrap.
+    constexpr uint64_t half = uint64_t(1) << 31;
+    obs::CounterRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::Ev::UpcCycles, half);
+
+    obs::Snapshot part = reg.snapshot();
+    obs::Snapshot sum;
+    for (int i = 0; i < 3; ++i)
+        sum.accumulate(part);
+    EXPECT_EQ(sum.value(obs::Ev::UpcCycles), 3 * half);  // > 2^32
+    EXPECT_GT(sum.value(obs::Ev::UpcCycles), uint64_t(UINT32_MAX));
 }

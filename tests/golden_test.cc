@@ -339,6 +339,51 @@ TEST(Golden, Table9PerGroupCycles)
     checkGolden("table9.json", t);
 }
 
+TEST(Golden, ObservabilityDoesNotPerturbTables)
+{
+    // The observability layer must be a pure observer: running the
+    // same fixed-seed composite with counters and a deep tracer
+    // attached, and again with every runtime obs feature off, must
+    // produce byte-identical attribution data — hence byte-identical
+    // Tables 1-9. (scripts/check.sh additionally rebuilds with
+    // -DUPC780_OBS=OFF and re-runs this suite against the same golden
+    // files, closing the compile-time half of the guarantee.)
+    sim::ExperimentConfig on;
+    on.instructionsPerWorkload = 4000;
+    on.warmupInstructions = 800;
+    on.obs.counters = true;
+    on.obs.traceDepth = 1u << 14;
+
+    sim::ExperimentConfig off = on;
+    off.obs.counters = false;
+    off.obs.traceDepth = 0;
+
+    auto profiles = wkl::paperWorkloads();
+    sim::CompositeResult a =
+        sim::ParallelEngine(on).runComposite(profiles);
+    sim::CompositeResult b =
+        sim::ParallelEngine(off).runComposite(profiles);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+
+    EXPECT_TRUE(a.histogram == b.histogram)
+        << "obs instrumentation perturbed the UPC histogram";
+    ASSERT_EQ(a.workloads.size(), b.workloads.size());
+    for (size_t i = 0; i < a.workloads.size(); ++i) {
+        EXPECT_EQ(a.workloads[i].cycles, b.workloads[i].cycles)
+            << a.workloads[i].name;
+        EXPECT_TRUE(a.workloads[i].histogram ==
+                    b.workloads[i].histogram)
+            << a.workloads[i].name;
+    }
+
+    const auto &img = ucode::microcodeImage();
+    upc::HistogramAnalyzer an_a(a.histogram, img);
+    upc::HistogramAnalyzer an_b(b.histogram, img);
+    EXPECT_EQ(an_a.instructions(), an_b.instructions());
+    EXPECT_EQ(fmt(an_a.cpi()), fmt(an_b.cpi()));
+}
+
 int
 main(int argc, char **argv)
 {

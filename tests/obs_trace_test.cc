@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Property tests for the structured event tracer: ring-buffer
+ * wraparound accounting, category masking, Chrome-trace export, and —
+ * under the parallel experiment engine — that merging per-worker
+ * streams preserves global event-count totals and per-category
+ * timestamp monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "common/random.hh"
+#include "obs/hostprof.hh"
+#include "obs/trace.hh"
+#include "sim/engine.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+using obs::Cat;
+using obs::Code;
+using obs::EventTracer;
+using obs::TraceEvent;
+
+TEST(EventTracer, NamesAreStableAndTotal)
+{
+    // Every enumerator renders a real name; out-of-range values fall
+    // back to "?" instead of reading past the switch. (upctrace and
+    // the JSON exporter print these unconditionally.)
+    ::setenv("UPC780_OBS", "1", 1);
+    EXPECT_TRUE(obs::Config().counters);
+
+    for (uint32_t bit = 1; bit <= obs::AllCats; bit <<= 1)
+        EXPECT_NE(obs::catName(static_cast<Cat>(bit)), "?");
+    EXPECT_EQ(obs::catName(static_cast<Cat>(1u << 30)), "?");
+
+    for (uint16_t c = 0;
+         c <= static_cast<uint16_t>(Code::MeasureStop); ++c)
+        EXPECT_NE(obs::codeName(static_cast<Code>(c)), "?");
+    EXPECT_EQ(obs::codeName(static_cast<Code>(0xffff)), "?");
+
+    for (size_t e = 0; e < obs::NumEvents; ++e)
+        EXPECT_NE(obs::evName(static_cast<obs::Ev>(e)), "?");
+    EXPECT_EQ(obs::evName(obs::Ev::NumEvents), "?");
+
+    for (size_t p = 0; p < obs::NumPhases; ++p)
+        EXPECT_NE(obs::phaseName(static_cast<obs::Phase>(p)), "?");
+    EXPECT_EQ(obs::phaseName(obs::Phase::NumPhases), "?");
+}
+
+TEST(EventTracer, CounterTableListsNonZeroRows)
+{
+    obs::CounterRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::Ev::EboxUops, 42);
+    std::string table = obs::writeCounterTable(reg.snapshot());
+    EXPECT_NE(table.find("ebox.uops"), std::string::npos);
+    EXPECT_NE(table.find("42"), std::string::npos);
+    EXPECT_EQ(table.find("tb.d_hits"), std::string::npos);
+}
+
+TEST(EventTracer, EmitCycleClassifiesByPriority)
+{
+#if !UPC780_OBS_ENABLED
+    GTEST_SKIP() << "built with UPC780_OBS=OFF";
+#else
+    obs::CounterRegistry reg;
+    reg.setEnabled(true);
+    obs::ObsScope scope(&reg, nullptr);
+
+    obs::CycleEvents ev;
+    ev.halt = true;
+    obs::emitCycle(ev, /*stalled=*/true);  // stall outranks halt
+    EXPECT_EQ(reg.value(obs::Ev::EboxStallCycles), 1u);
+    EXPECT_EQ(reg.value(obs::Ev::EboxHaltCycles), 0u);
+
+    obs::emitCycle(ev, false);
+    EXPECT_EQ(reg.value(obs::Ev::EboxHaltCycles), 1u);
+
+    ev = obs::CycleEvents{};
+    ev.decode = true;
+    ev.mcheck = true;
+    obs::emitCycle(ev, false);
+    EXPECT_EQ(reg.value(obs::Ev::EboxUops), 1u);
+    EXPECT_EQ(reg.value(obs::Ev::IboxDecodes), 1u);
+    EXPECT_EQ(reg.value(obs::Ev::MachineChecks), 1u);
+
+    // A disabled registry counts nothing, matching a stopped monitor.
+    reg.setEnabled(false);
+    obs::emitCycle(ev, false);
+    EXPECT_EQ(reg.value(obs::Ev::EboxUops), 1u);
+#endif
+}
+
+TEST(EventTracer, ClearResetsRingAndAccounting)
+{
+    EventTracer t(4, static_cast<uint32_t>(Cat::Os));
+    t.emit(Cat::Os, Code::Syscall, 1);
+    t.emit(Cat::Tb, Code::TbMissD, 2);  // filtered
+    EXPECT_EQ(t.emitted(), 1u);
+    EXPECT_EQ(t.filtered(), 1u);
+
+    t.clear();
+    EXPECT_EQ(t.emitted(), 0u);
+    EXPECT_EQ(t.filtered(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_EQ(t.mask(), static_cast<uint32_t>(Cat::Os));  // kept
+}
+
+TEST(EventTracer, RingWraparoundKeepsNewestAndCountsDrops)
+{
+    EventTracer t(8);
+    for (uint64_t i = 0; i < 20; ++i)
+        t.emit(Cat::Sim, Code::MeasureStart, /*ts=*/100 + i, i);
+
+    EXPECT_EQ(t.emitted(), 20u);
+    EXPECT_EQ(t.dropped(), 12u);
+    EXPECT_EQ(t.filtered(), 0u);
+
+    auto ev = t.events();
+    ASSERT_EQ(ev.size(), 8u);
+    // Oldest-first, and exactly the 8 newest emits survive.
+    for (size_t i = 0; i < ev.size(); ++i) {
+        EXPECT_EQ(ev[i].ts, 100 + 12 + i);
+        EXPECT_EQ(ev[i].arg0, 12 + i);
+    }
+}
+
+TEST(EventTracer, PartialFillReturnsOnlyEmitted)
+{
+    EventTracer t(16);
+    t.emit(Cat::Os, Code::Syscall, 5);
+    t.emit(Cat::Os, Code::Syscall, 6);
+    EXPECT_EQ(t.dropped(), 0u);
+    auto ev = t.events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].ts, 5u);
+    EXPECT_EQ(ev[1].ts, 6u);
+}
+
+TEST(EventTracer, CategoryMaskFiltersAndAccounts)
+{
+    uint32_t mask = 0;
+    ASSERT_TRUE(obs::parseCategories("tb,os", mask));
+    EXPECT_EQ(mask, static_cast<uint32_t>(Cat::Tb) |
+                        static_cast<uint32_t>(Cat::Os));
+
+    EventTracer t(64, mask);
+    t.emit(Cat::Tb, Code::TbMissD, 1);
+    t.emit(Cat::Instr, Code::InstrRetired, 2);
+    t.emit(Cat::Os, Code::CtxSwitch, 3);
+    t.emit(Cat::Irq, Code::IrqDispatch, 4);
+
+    EXPECT_EQ(t.emitted(), 2u);
+    EXPECT_EQ(t.filtered(), 2u);
+    auto ev = t.events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].cat, static_cast<uint32_t>(Cat::Tb));
+    EXPECT_EQ(ev[1].cat, static_cast<uint32_t>(Cat::Os));
+}
+
+TEST(EventTracer, ParseCategoriesRejectsUnknown)
+{
+    uint32_t mask = 0xdead;
+    EXPECT_FALSE(obs::parseCategories("tb,bogus", mask));
+    EXPECT_EQ(mask, 0xdeadu);  // unchanged on failure
+    EXPECT_TRUE(obs::parseCategories("all", mask));
+    EXPECT_EQ(mask, obs::AllCats);
+}
+
+TEST(EventTracer, MergePreservesTotalsAndMonotonicity)
+{
+    // Synthetic per-worker streams with deterministic, monotone
+    // timestamps (as real streams are: each workload's machine time
+    // only moves forward).
+    Rng rng(42);
+    std::vector<std::vector<TraceEvent>> streams(4);
+    size_t total = 0;
+    for (auto &s : streams) {
+        uint64_t ts = 0;
+        size_t n = 50 + rng.below(50);
+        for (size_t i = 0; i < n; ++i) {
+            ts += rng.below(3);  // ties within and across streams
+            TraceEvent e;
+            e.ts = ts;
+            e.cat = 1u << rng.below(7);
+            e.code = static_cast<uint16_t>(rng.below(10));
+            s.push_back(e);
+        }
+        total += n;
+    }
+
+    auto merged = obs::mergeStreams(streams);
+    EXPECT_EQ(merged.size(), total);
+
+    // Global monotonicity (hence also per-category monotonicity).
+    for (size_t i = 1; i < merged.size(); ++i)
+        EXPECT_LE(merged[i - 1].ts, merged[i].ts);
+
+    // Per-stream event counts survive, and relative order within each
+    // stream is preserved (stable merge).
+    std::map<uint16_t, size_t> per_stream;
+    std::map<uint16_t, uint64_t> last_ts;
+    for (const TraceEvent &e : merged) {
+        ++per_stream[e.stream];
+        EXPECT_LE(last_ts[e.stream], e.ts);
+        last_ts[e.stream] = e.ts;
+    }
+    for (size_t i = 0; i < streams.size(); ++i)
+        EXPECT_EQ(per_stream[static_cast<uint16_t>(i)],
+                  streams[i].size());
+}
+
+TEST(EventTracer, ChromeJsonExport)
+{
+    EventTracer t(8);
+    t.emit(Cat::Tb, Code::TbMissD, 10, 0x80001234, 1);
+    t.emit(Cat::Irq, Code::IrqDispatch, 20, 0xc0);
+    std::string json = obs::toChromeJson(t.events());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"tbmiss.d\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"irq\""), std::string::npos);
+    // 10 cycles x 200 ns = 2 µs.
+    EXPECT_NE(json.find("\"ts\":2.0"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+#if UPC780_OBS_ENABLED
+TEST(EventTracerEngine, ParallelStreamsMergeConsistently)
+{
+    // Run the five workloads under the parallel engine with per-run
+    // tracers, then treat each workload's trace as one stream.
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = 3000;
+    cfg.warmupInstructions = 500;
+    cfg.obs.traceDepth = 1u << 16;
+
+    auto profiles = wkl::paperWorkloads();
+    sim::EngineConfig four;
+    four.jobs = 4;
+    sim::ParallelEngine engine(cfg, four);
+    sim::CompositeResult par = engine.runComposite(profiles);
+    ASSERT_TRUE(par.allOk());
+
+    std::vector<std::vector<TraceEvent>> streams;
+    size_t total = 0;
+    for (const auto &w : par.workloads) {
+        EXPECT_GT(w.trace.size(), 0u) << w.name;
+        streams.push_back(w.trace);
+        total += w.trace.size();
+    }
+
+    auto merged = obs::mergeStreams(streams);
+    EXPECT_EQ(merged.size(), total);
+
+    // Per-category AND per-stream monotone timestamps after merge.
+    std::map<std::pair<uint16_t, uint32_t>, uint64_t> last;
+    for (const TraceEvent &e : merged) {
+        auto key = std::make_pair(e.stream, e.cat);
+        auto it = last.find(key);
+        if (it != last.end()) {
+            EXPECT_LE(it->second, e.ts);
+        }
+        last[key] = e.ts;
+    }
+
+    // Determinism: the same workloads serially produce byte-identical
+    // per-workload streams (trace events carry machine time only).
+    sim::EngineConfig one;
+    one.jobs = 1;
+    sim::ParallelEngine serial(cfg, one);
+    sim::CompositeResult ser = serial.runComposite(profiles);
+    ASSERT_TRUE(ser.allOk());
+    ASSERT_EQ(ser.workloads.size(), par.workloads.size());
+    for (size_t i = 0; i < ser.workloads.size(); ++i) {
+        const auto &a = ser.workloads[i].trace;
+        const auto &b = par.workloads[i].trace;
+        ASSERT_EQ(a.size(), b.size()) << ser.workloads[i].name;
+        for (size_t j = 0; j < a.size(); ++j) {
+            EXPECT_EQ(a[j].ts, b[j].ts);
+            EXPECT_EQ(a[j].cat, b[j].cat);
+            EXPECT_EQ(a[j].code, b[j].code);
+            EXPECT_EQ(a[j].arg0, b[j].arg0);
+            EXPECT_EQ(a[j].arg1, b[j].arg1);
+        }
+    }
+
+    // The measurement markers bracket every run.
+    for (const auto &w : par.workloads) {
+        size_t starts = 0, stops = 0;
+        for (const TraceEvent &e : w.trace) {
+            if (e.code == static_cast<uint16_t>(Code::MeasureStart))
+                ++starts;
+            if (e.code == static_cast<uint16_t>(Code::MeasureStop))
+                ++stops;
+        }
+        EXPECT_EQ(starts, 1u) << w.name;
+        EXPECT_EQ(stops, 1u) << w.name;
+    }
+}
+#endif
