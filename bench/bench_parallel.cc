@@ -11,20 +11,31 @@
  * by the slowest single workload (the engine cannot split one
  * measurement interval). On fewer cores the bound is min(cores, 5).
  *
+ * Also measures what the snapshot layer costs: the same single
+ * workload with and without periodic checkpoints (which must not
+ * perturb the histogram), and the wall-clock of restoring the newest
+ * checkpoint.
+ *
  * Environment knobs (shared with the table benches):
  *   UPC780_INSTR   - measured instructions per workload (default 40k)
  *   UPC780_WARMUP  - warm-up instructions per workload (default 8k)
  *   UPC780_MAXJOBS - highest worker count to measure (default 8)
+ *   UPC780_BENCH_JSON - when set, write the figures to this file as
+ *                       machine-readable JSON (see scripts/check.sh)
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/run.hh"
+#include "snap/snapshot.hh"
 #include "workload/profile.hh"
 
 using namespace upc780;
@@ -52,6 +63,21 @@ identical(const sim::CompositeResult &a, const sim::CompositeResult &b)
            a.instructions() == b.instructions() &&
            a.timerInterrupts == b.timerInterrupts &&
            a.terminalInterrupts == b.terminalInterrupts;
+}
+
+struct ScaleRow
+{
+    unsigned jobs;
+    double wall;
+    bool same;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 } // namespace
@@ -88,6 +114,7 @@ main()
     sim::CompositeResult baseline;
     double base_wall = 0;
     bool all_identical = true;
+    std::vector<ScaleRow> rows;
     for (unsigned jobs : sweep) {
         sim::CompositeResult c;
         const double wall = runOnce(cfg, jobs, c);
@@ -97,6 +124,7 @@ main()
         }
         const bool same = identical(baseline, c);
         all_identical = all_identical && same;
+        rows.push_back({jobs, wall, same});
         std::printf("  %-5u  %10.3f  %7.2fx  %9.1f%%  %s\n", jobs, wall,
                     base_wall / wall, 100.0 * base_wall / wall / jobs,
                     same ? "yes" : "NO");
@@ -128,5 +156,84 @@ main()
                 wall_off, wall_on,
                 100.0 * (wall_on / wall_off - 1.0),
                 obs_same ? "yes" : "NO");
+
+    // Checkpoint machinery: one timesharing-1 workload plain vs with
+    // periodic snapshots. Saving must not perturb the measurement
+    // (identical histogram), and both directions should be cheap
+    // relative to simulation (reported, not gated — wall-clock on a
+    // shared host is noisy).
+    namespace fs = std::filesystem;
+    const fs::path ckdir =
+        fs::temp_directory_path() / "upc780_bench_ckpt";
+    std::error_code ec;
+    fs::remove_all(ckdir, ec);
+
+    sim::ExperimentConfig ck_cfg = cfg;
+    ck_cfg.checkpoint.dir = ckdir.string();
+    ck_cfg.checkpoint.everyCycles = 25000;
+    const auto profile = wkl::timesharing1Profile();
+
+    double t = now();
+    const auto plain = sim::ExperimentRunner(cfg).runWorkload(profile);
+    const double wall_plain = now() - t;
+    t = now();
+    const auto ckpt = sim::ExperimentRunner(ck_cfg).runWorkload(profile);
+    const double wall_ckpt = now() - t;
+    const bool ck_same = plain.histogram == ckpt.histogram;
+    all_identical = all_identical && ck_same;
+
+    size_t saved = 0;
+    for (const auto &e : fs::directory_iterator(ckdir, ec))
+        if (e.path().extension() == ".ckpt")
+            ++saved;
+
+    sim::WorkloadRun rewind(ck_cfg, profile);
+    const std::string latest =
+        snap::latestCheckpoint(ck_cfg.checkpoint.dir, rewind.taskId());
+    t = now();
+    rewind.restore(latest);
+    const double wall_restore = now() - t;
+
+    std::printf("\ncheckpoints: plain %.3f s, saving %zu snapshots "
+                "%.3f s (%+.1f%% overhead), one restore %.1f ms, "
+                "histograms identical: %s\n",
+                wall_plain, saved, wall_ckpt,
+                100.0 * (wall_ckpt / wall_plain - 1.0),
+                1e3 * wall_restore, ck_same ? "yes" : "NO");
+    fs::remove_all(ckdir, ec);
+
+    if (const char *out = std::getenv("UPC780_BENCH_JSON")) {
+        std::FILE *f = std::fopen(out, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"parallel\",\n"
+                     "  \"instructions_per_workload\": %llu,\n"
+                     "  \"hardware_threads\": %u,\n  \"scaling\": [",
+                     static_cast<unsigned long long>(instr), hw);
+        for (size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                         "%s\n    {\"jobs\": %u, \"wall_s\": %.6f, "
+                         "\"speedup\": %.3f, \"identical\": %s}",
+                         i ? "," : "", rows[i].jobs, rows[i].wall,
+                         base_wall / rows[i].wall,
+                         rows[i].same ? "true" : "false");
+        std::fprintf(f,
+                     "\n  ],\n"
+                     "  \"obs_overhead\": {\"off_s\": %.6f, \"on_s\": "
+                     "%.6f, \"identical\": %s},\n"
+                     "  \"checkpoint\": {\"plain_s\": %.6f, "
+                     "\"checkpointed_s\": %.6f, \"snapshots\": %zu, "
+                     "\"restore_s\": %.6f, \"identical\": %s},\n"
+                     "  \"all_identical\": %s\n}\n",
+                     wall_off, wall_on, obs_same ? "true" : "false",
+                     wall_plain, wall_ckpt, saved, wall_restore,
+                     ck_same ? "true" : "false",
+                     all_identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", out);
+    }
     return all_identical ? 0 : 1;
 }

@@ -8,6 +8,8 @@
  *
  * Usage: paper_report [instructions-per-workload] [--markdown]
  *                     [--jobs N] [--seeds K] [--metrics]
+ *                     [--checkpoint-dir D] [--checkpoint-every N]
+ *                     [--crash-at C1[,C2...]] [--resume]
  *
  *   --jobs N    worker threads (default: UPC780_JOBS, else all cores)
  *   --seeds K   seed replications per workload; with K > 1 the report
@@ -17,6 +19,14 @@
  *   --metrics   append the observability summary: per-workload phase
  *               timings and sim rate (KIPS / simulated KHz / slowdown)
  *               plus the composite event-counter table
+ *
+ * The checkpoint flags mirror vaxsim_cli: with --checkpoint-dir each
+ * workload periodically snapshots its machine and persists its result;
+ * --crash-at simulates a harness crash at the listed cycles (attempt k
+ * dies at the k-th entry, then the retry restores the newest
+ * checkpoint); --resume reuses completed results from an interrupted
+ * composite. The report must come out byte-identical either way —
+ * scripts/check.sh diffs it.
  */
 
 #include <cstdio>
@@ -28,6 +38,7 @@
 #include "obs/counters.hh"
 #include "obs/hostprof.hh"
 #include "sim/engine.hh"
+#include "snap/snapshot.hh"
 #include "ucode/controlstore.hh"
 #include "upc/report.hh"
 #include "workload/profile.hh"
@@ -41,6 +52,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     unsigned seeds = 1;
     bool metrics = false;
+    snap::CheckpointPolicy checkpoint;
     upc::ReportOptions opt;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--markdown"))
@@ -51,6 +63,19 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
             seeds = static_cast<unsigned>(strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--checkpoint-dir") &&
+                 i + 1 < argc)
+            checkpoint.dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--checkpoint-every") &&
+                 i + 1 < argc)
+            checkpoint.everyCycles = strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--crash-at") && i + 1 < argc)
+            for (char *tok = std::strtok(argv[++i], ","); tok;
+                 tok = std::strtok(nullptr, ","))
+                checkpoint.simulatedCrashCycles.push_back(
+                    strtoull(tok, nullptr, 0));
+        else if (!std::strcmp(argv[i], "--resume"))
+            checkpoint.resume = true;
         else
             instructions = strtoull(argv[i], nullptr, 0);
     }
@@ -60,6 +85,10 @@ main(int argc, char **argv)
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = instructions;
     cfg.warmupInstructions = instructions / 6;
+    cfg.checkpoint = checkpoint;
+    if (checkpoint.simulatedCrashCycles.size() >= cfg.checkpoint.maxRetries)
+        cfg.checkpoint.maxRetries =
+            static_cast<uint32_t>(checkpoint.simulatedCrashCycles.size());
     sim::EngineConfig ecfg;
     ecfg.jobs = jobs;
     sim::ParallelEngine engine(cfg, ecfg);

@@ -8,6 +8,15 @@
  * `run` and `report` accept --jobs N (worker threads; default
  * UPC780_JOBS, else all cores) and --seeds K (seed replications, run
  * concurrently; the summary gains mean/stddev CPI across seeds).
+ * They also accept the crash-resilience flags:
+ *   --checkpoint-dir DIR    persist checkpoints + per-task results
+ *   --checkpoint-every N    periodic checkpoint cadence in cycles
+ *   --crash-at C1[,C2...]   simulate a harness crash at those cycles
+ *                           (attempt k crashes at Ck; one past the
+ *                           list, the run survives — a retry drill)
+ *   --resume                reuse finished .result files and restart
+ *                           interrupted workloads from their latest
+ *                           checkpoint instead of from boot
  *   vaxsim_cli trace [workload] [n]            last n retired instrs
  *   vaxsim_cli disasm <file> [base]            disassemble raw bytes
  *   vaxsim_cli ucode [--dump]                  microprogram stats/listing
@@ -31,6 +40,7 @@
 #include "os/kernel.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
+#include "snap/snapshot.hh"
 #include "ucode/controlstore.hh"
 #include "upc/report.hh"
 #include "workload/codegen.hh"
@@ -64,6 +74,7 @@ struct EngineArgs
     unsigned jobs = 0;
     unsigned seeds = 1;
     bool metrics = false;
+    snap::CheckpointPolicy checkpoint;
 
     int
     extract(int argc, char **argv)
@@ -78,12 +89,38 @@ struct EngineArgs
                     strtoul(argv[++i], nullptr, 0));
             else if (!std::strcmp(argv[i], "--metrics"))
                 metrics = true;
+            else if (!std::strcmp(argv[i], "--checkpoint-dir") &&
+                     i + 1 < argc)
+                checkpoint.dir = argv[++i];
+            else if (!std::strcmp(argv[i], "--checkpoint-every") &&
+                     i + 1 < argc)
+                checkpoint.everyCycles = strtoull(argv[++i], nullptr, 0);
+            else if (!std::strcmp(argv[i], "--crash-at") && i + 1 < argc)
+                for (char *tok = std::strtok(argv[++i], ",");
+                     tok; tok = std::strtok(nullptr, ","))
+                    checkpoint.simulatedCrashCycles.push_back(
+                        strtoull(tok, nullptr, 0));
+            else if (!std::strcmp(argv[i], "--resume"))
+                checkpoint.resume = true;
             else
                 argv[kept++] = argv[i];
         }
         if (seeds < 1)
             seeds = 1;
         return kept;
+    }
+
+    /** Fold the checkpoint flags into an experiment config. */
+    void
+    apply(sim::ExperimentConfig &cfg) const
+    {
+        cfg.checkpoint = checkpoint;
+        // A crash drill needs enough retries to outlast the scripted
+        // crashes (attempt k dies at the k-th listed cycle).
+        if (checkpoint.simulatedCrashCycles.size() >=
+            cfg.checkpoint.maxRetries)
+            cfg.checkpoint.maxRetries = static_cast<uint32_t>(
+                checkpoint.simulatedCrashCycles.size());
     }
 };
 
@@ -115,6 +152,7 @@ cmdRun(int argc, char **argv)
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = n;
     cfg.warmupInstructions = n / 6;
+    ea.apply(cfg);
     sim::EngineConfig ecfg;
     ecfg.jobs = ea.jobs;
     sim::ParallelEngine engine(cfg, ecfg);
@@ -152,6 +190,7 @@ cmdReport(int argc, char **argv)
     sim::ExperimentConfig cfg;
     cfg.instructionsPerWorkload = n;
     cfg.warmupInstructions = n / 6;
+    ea.apply(cfg);
     sim::EngineConfig ecfg;
     ecfg.jobs = ea.jobs;
     sim::ParallelEngine engine(cfg, ecfg);

@@ -2,10 +2,14 @@
 # One-stop pre-merge gate: configure, build, run the full test suite,
 # lint the shipped microprogram, prove the parallel engine's
 # determinism contract (golden tables, parallel-labeled tests, and a
-# byte-for-byte diff of a 1-worker vs 4-worker composite report), then
-# rebuild with AddressSanitizer for the fault/lint tests and — when
-# the toolchain supports it — with ThreadSanitizer for the
-# parallel-labeled tests.
+# byte-for-byte diff of a 1-worker vs 4-worker composite report),
+# prove the snapshot layer's crash-recovery contract (a composite that
+# crashes mid-run and restores from checkpoints, serially and with 4
+# workers, must reproduce the uninterrupted report byte for byte),
+# emit the perf-trajectory figures (BENCH_simspeed.json,
+# BENCH_parallel.json), then rebuild with AddressSanitizer for the
+# fault/lint/snap tests and — when the toolchain supports it — with
+# ThreadSanitizer for the parallel-labeled tests.
 #
 #   scripts/check.sh [build-dir]          (default: build-check)
 #
@@ -44,6 +48,32 @@ UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 4 \
 cmp "$BUILD/report-serial.txt" "$BUILD/report-jobs4.txt"
 echo "identical"
 
+echo "== crash + restore reproduces the report, serial and parallel =="
+# Each workload suffers a scripted harness crash at cycle 30000 and
+# must come back from its cycle-30000 checkpoint; both the 1-worker
+# and the 4-worker recovery must match the uninterrupted serial
+# report byte for byte.
+rm -rf "$BUILD/ckpt-serial" "$BUILD/ckpt-jobs4"
+UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 1 \
+    --checkpoint-dir "$BUILD/ckpt-serial" --checkpoint-every 10000 \
+    --crash-at 30000 > "$BUILD/report-ckpt-serial.txt"
+UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 4 \
+    --checkpoint-dir "$BUILD/ckpt-jobs4" --checkpoint-every 10000 \
+    --crash-at 30000 > "$BUILD/report-ckpt-jobs4.txt"
+cmp "$BUILD/report-serial.txt" "$BUILD/report-ckpt-serial.txt"
+cmp "$BUILD/report-serial.txt" "$BUILD/report-ckpt-jobs4.txt"
+echo "identical"
+
+echo "== snap-labeled tests =="
+ctest --test-dir "$BUILD" -L snap --output-on-failure
+
+echo "== perf trajectory (BENCH_*.json at the repo root) =="
+UPC780_BENCH_JSON="$PWD/BENCH_parallel.json" \
+UPC780_LOG_LEVEL=quiet "$BUILD/bench/bench_parallel"
+"$BUILD/bench/bench_simspeed" \
+    --benchmark_out="$PWD/BENCH_simspeed.json" \
+    --benchmark_out_format=json
+
 echo "== obs-off build: golden tables identical without the layer =="
 cmake -S . -B "$BUILD-noobs" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_OBS=OFF
@@ -64,11 +94,11 @@ else
     echo "== gcov/python3 unavailable; skipping coverage report =="
 fi
 
-echo "== asan build (faults + lint tests) =="
+echo "== asan build (faults + lint + snap tests) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
-ctest --test-dir "$BUILD-asan" -L "faults|lint" --output-on-failure
+ctest --test-dir "$BUILD-asan" -L "faults|lint|snap" --output-on-failure
 
 if echo 'int main(){return 0;}' | \
     c++ -fsanitize=thread -x c++ - -o "$BUILD/tsan-probe" 2>/dev/null

@@ -20,6 +20,9 @@
  *                   progress (livelock, stuck stall, runaway interval).
  *  - AuditError:    a runtime accounting invariant failed (e.g. the
  *                   histogram no longer sums to the monitored cycles).
+ *  - SnapshotError: a machine-state snapshot file is unusable —
+ *                   truncated, bit-flipped, wrong version, or taken
+ *                   under a different configuration.
  *
  * panic() remains an abort: an invariant violation inside the
  * simulator itself is not recoverable by policy.
@@ -66,6 +69,19 @@ class WatchdogError : public SimError
 
 /** A runtime accounting invariant failed. */
 class AuditError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * A checkpoint/snapshot file cannot be used: it is truncated, fails
+ * its checksum, carries the wrong magic or format version, or was
+ * taken under a different (machine, OS, workload) configuration than
+ * the one trying to restore it. Corruption is always rejected with
+ * this error — never a crash, never a silent mis-restore.
+ */
+class SnapshotError : public SimError
 {
   public:
     using SimError::SimError;

@@ -12,6 +12,7 @@
 #ifndef UPC780_COMMON_RANDOM_HH
 #define UPC780_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -67,6 +68,27 @@ class Rng
 
     /** Geometric-ish run length with the given mean, minimum 1. */
     uint32_t runLength(double mean);
+
+    /**
+     * The raw xoshiro256** state, for checkpoint serialization: a
+     * restored stream continues bit-exactly where the saved one
+     * stopped, which is what makes snapshot/restore of the workload
+     * think-time and fault streams deterministic.
+     */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        s_[0] = s[0];
+        s_[1] = s[1];
+        s_[2] = s[2];
+        s_[3] = s[3];
+    }
 
   private:
     uint64_t s_[4];

@@ -26,6 +26,8 @@ class Counter
     void operator++(int) { ++value_; }
     void operator+=(uint64_t n) { value_ += n; }
     void reset() { value_ = 0; }
+    /** Restore a checkpointed value (snapshot deserialization only). */
+    void set(uint64_t v) { value_ = v; }
 
     uint64_t value() const { return value_; }
 

@@ -156,6 +156,18 @@ class Ebox
     mmu::TranslationBuffer &tb() { return tb_; }
     const ucode::MicrocodeImage &image() const { return img_; }
 
+    /**
+     * Checkpoint the complete microarchitectural state: architectural
+     * registers, micro-PC and stack, datapath latches, microtrap and
+     * interrupt latches, the machine-check queue, and the in-flight
+     * instruction (operands, queued reads/writes, execute-loop
+     * counters). The microcode image, wiring and config knobs are not
+     * serialized — they are reconstructed from the machine config, and
+     * the `curInfo_` pointer is re-derived from the opcode on restore.
+     */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
     /** Condition-code helpers (used by the execute unit and tests). */
     void setCc(bool n, bool z, bool v, bool c);
     bool ccN() const { return psl_ & arch::psl::N; }

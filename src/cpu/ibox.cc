@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "obs/counters.hh"
 
 namespace upc780::cpu
@@ -99,6 +100,49 @@ IBox::startFill(uint64_t now)
     fillPending_ = true;
     ++stats_.fills;
     obs::count(obs::Ev::IbFills);
+}
+
+void
+IBox::serialize(ByteWriter &w) const
+{
+    for (uint8_t b : buf_)
+        w.u8(b);
+    w.u32(count_);
+    w.u32(fetchVa_);
+    w.b(mapEnabled_);
+    w.b(fillPending_);
+    w.u64(fillReadyAt_);
+    w.u32(fillData_);
+    w.u32(fillVa_);
+    w.b(tbMiss_);
+    w.u32(tbMissVa_);
+    w.b(justRedirected_);
+    w.u64(stats_.fills.value());
+    w.u64(stats_.redirects.value());
+    w.u64(stats_.tbMisses.value());
+}
+
+void
+IBox::deserialize(ByteReader &r)
+{
+    for (uint8_t &b : buf_)
+        b = r.u8();
+    count_ = r.u32();
+    if (count_ > Capacity)
+        sim_throw(SnapshotError, "snapshot IB byte count %u exceeds %u",
+                  count_, Capacity);
+    fetchVa_ = r.u32();
+    mapEnabled_ = r.b();
+    fillPending_ = r.b();
+    fillReadyAt_ = r.u64();
+    fillData_ = r.u32();
+    fillVa_ = r.u32();
+    tbMiss_ = r.b();
+    tbMissVa_ = r.u32();
+    justRedirected_ = r.b();
+    stats_.fills.set(r.u64());
+    stats_.redirects.set(r.u64());
+    stats_.tbMisses.set(r.u64());
 }
 
 } // namespace upc780::cpu

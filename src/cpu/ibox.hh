@@ -20,6 +20,12 @@
 #include "mmu/pagetable.hh"
 #include "mmu/tb.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::cpu
 {
 
@@ -75,6 +81,10 @@ class IBox
     void clearTbMiss();
 
     const IBoxStats &stats() const { return stats_; }
+
+    /** Checkpoint buffer contents + fill engine + counters. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     mem::MemorySubsystem &memsys_;

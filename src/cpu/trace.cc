@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "arch/decoder.hh"
+#include "common/serial.hh"
 #include "mmu/pagetable.hh"
 #include "ucode/controlstore.hh"
 
@@ -107,6 +108,50 @@ InstrTracer::clear()
 {
     ring_.assign(depth_, TraceRecord{});
     next_ = 0;
+}
+
+void
+InstrTracer::serialize(ByteWriter &w) const
+{
+    w.u64(ring_.size());
+    for (const TraceRecord &rec : ring_) {
+        w.u64(rec.seq);
+        w.u32(rec.pc);
+        w.u8(rec.opcode);
+        w.u32(rec.r0);
+        w.u32(rec.r6);
+        w.u32(rec.sp);
+        w.u32(rec.psl);
+        w.str(rec.text);
+    }
+    w.u64(next_);
+    w.u64(seq_);
+}
+
+void
+InstrTracer::deserialize(ByteReader &r)
+{
+    const uint64_t n = r.u64();
+    if (n != ring_.size())
+        sim_throw(SnapshotError,
+                  "snapshot instruction trace depth %llu does not match "
+                  "the tracer's %zu",
+                  static_cast<unsigned long long>(n), ring_.size());
+    for (TraceRecord &rec : ring_) {
+        rec.seq = r.u64();
+        rec.pc = r.u32();
+        rec.opcode = r.u8();
+        rec.r0 = r.u32();
+        rec.r6 = r.u32();
+        rec.sp = r.u32();
+        rec.psl = r.u32();
+        rec.text = r.str();
+    }
+    next_ = r.u64();
+    if (next_ >= ring_.size())
+        sim_throw(SnapshotError, "snapshot instruction trace cursor %zu "
+                  "out of range", next_);
+    seq_ = r.u64();
 }
 
 } // namespace upc780::cpu

@@ -66,6 +66,10 @@ class InstrTracer : public CycleProbe
      */
     void setEventSink(obs::EventTracer *sink) { sink_ = sink; }
 
+    /** Checkpoint the ring contents + sequence counter. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     Vax780 &machine_;
     size_t depth_;

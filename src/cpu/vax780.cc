@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/serial.hh"
 #include "fault/fault.hh"
 
 namespace upc780::cpu
@@ -112,6 +113,26 @@ Vax780::run(uint64_t max_cycles)
     while (n < max_cycles && tick())
         ++n;
     return n;
+}
+
+void
+Vax780::serialize(ByteWriter &w) const
+{
+    w.u64(cycles_);
+    memsys_.serialize(w);
+    tb_.serialize(w);
+    ibox_.serialize(w);
+    ebox_.serialize(w);
+}
+
+void
+Vax780::deserialize(ByteReader &r)
+{
+    cycles_ = r.u64();
+    memsys_.deserialize(r);
+    tb_.deserialize(r);
+    ibox_.deserialize(r);
+    ebox_.deserialize(r);
 }
 
 } // namespace upc780::cpu

@@ -108,6 +108,15 @@ class Vax780 : public InterruptController
     bool highestPending(uint32_t &level, uint32_t &vector) override;
     void acknowledge(uint32_t level) override;
 
+    /**
+     * Checkpoint the core machine: cycle counter, EBOX, IBox, TB and
+     * memory hierarchy. Probes, devices and the fault injector are
+     * attached components with their own serialization, owned by
+     * whoever attached them.
+     */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     mem::MemorySubsystem memsys_;
     mmu::TranslationBuffer tb_;

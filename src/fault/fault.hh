@@ -38,6 +38,12 @@
 
 #include "common/random.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::fault
 {
 
@@ -99,6 +105,21 @@ struct FaultSchedule
     uint64_t access;
 };
 
+/**
+ * One cycle-scheduled machine check, delivered by the experiment
+ * harness at an exact machine cycle (not via an injector consult
+ * site). This is the replay-from-snapshot knob: restore a checkpoint
+ * taken before `cycle`, vary `cycle` by one, and re-run to compare
+ * outcomes of the same fault at adjacent instants. Excluded from the
+ * snapshot config hash so one baseline checkpoint serves a whole
+ * sweep.
+ */
+struct CycleInjection
+{
+    uint64_t cycle = 0;
+    FaultKind kind = FaultKind::MemEccSingle;
+};
+
 /** Injection configuration. All rates default to zero (no faults). */
 struct FaultConfig
 {
@@ -117,7 +138,14 @@ struct FaultConfig
     /** Explicit deterministic injections, in addition to the rates. */
     std::vector<FaultSchedule> schedule;
 
-    /** True when any fault source is active. */
+    /**
+     * Harness-delivered machine checks at exact cycles (see
+     * CycleInjection). These do not require (or perturb) an attached
+     * injector and do not count into `any()`.
+     */
+    std::vector<CycleInjection> cycleInjections;
+
+    /** True when any injector-driven fault source is active. */
     bool any() const;
 };
 
@@ -184,6 +212,10 @@ class FaultInjector
 
     /** Drain the oldest pending machine-check code. */
     uint32_t takeMcheck();
+
+    /** Checkpoint RNG, access counters, stats and pending checks. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     /** Decide whether kind @p k fires on access @p n of its class. */

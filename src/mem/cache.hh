@@ -20,6 +20,12 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mem
 {
 
@@ -87,6 +93,10 @@ class Cache
     CacheStats &stats() { return stats_; }
 
     uint32_t numSets() const { return numSets_; }
+
+    /** Checkpoint tag store + counters + replacement RNG. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     struct Line

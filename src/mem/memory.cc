@@ -2,8 +2,11 @@
 
 #include <cstring>
 
+#include <algorithm>
+
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "fault/fault.hh"
 
 namespace upc780::mem
@@ -76,6 +79,72 @@ PhysicalMemory::clear(PAddr pa, uint32_t n)
 {
     check(pa, n);
     std::memset(data_.data() + pa, 0, n);
+}
+
+namespace
+{
+/** Snapshot chunk granularity for the zero-page elision. */
+constexpr uint32_t SnapPage = 4096;
+} // namespace
+
+void
+PhysicalMemory::serialize(ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(data_.size()));
+    const uint32_t pages =
+        (static_cast<uint32_t>(data_.size()) + SnapPage - 1) / SnapPage;
+    // First pass: count non-zero pages so the reader knows the count
+    // up front.
+    uint32_t nonzero = 0;
+    for (uint32_t p = 0; p < pages; ++p) {
+        const uint32_t off = p * SnapPage;
+        const uint32_t len = std::min<uint32_t>(
+            SnapPage, static_cast<uint32_t>(data_.size()) - off);
+        bool all_zero = true;
+        for (uint32_t i = 0; i < len && all_zero; ++i)
+            all_zero = data_[off + i] == 0;
+        if (!all_zero)
+            ++nonzero;
+    }
+    w.u32(nonzero);
+    for (uint32_t p = 0; p < pages; ++p) {
+        const uint32_t off = p * SnapPage;
+        const uint32_t len = std::min<uint32_t>(
+            SnapPage, static_cast<uint32_t>(data_.size()) - off);
+        bool all_zero = true;
+        for (uint32_t i = 0; i < len && all_zero; ++i)
+            all_zero = data_[off + i] == 0;
+        if (all_zero)
+            continue;
+        w.u32(p);
+        w.bytes(data_.data() + off, len);
+    }
+}
+
+void
+PhysicalMemory::deserialize(ByteReader &r)
+{
+    const uint32_t size = r.u32();
+    if (size != data_.size())
+        sim_throw(SnapshotError,
+                  "snapshot memory image is %u bytes but the machine "
+                  "has %zu", size, data_.size());
+    std::fill(data_.begin(), data_.end(), 0);
+    const uint32_t pages = (size + SnapPage - 1) / SnapPage;
+    const uint32_t nonzero = r.u32();
+    if (nonzero > pages)
+        sim_throw(SnapshotError,
+                  "snapshot memory image claims %u non-zero pages of %u",
+                  nonzero, pages);
+    for (uint32_t i = 0; i < nonzero; ++i) {
+        const uint32_t p = r.u32();
+        if (p >= pages)
+            sim_throw(SnapshotError,
+                      "snapshot memory page index %u out of range", p);
+        const uint32_t off = p * SnapPage;
+        const uint32_t len = std::min<uint32_t>(SnapPage, size - off);
+        r.bytes(data_.data() + off, len);
+    }
 }
 
 } // namespace upc780::mem

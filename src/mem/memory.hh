@@ -17,6 +17,12 @@ namespace upc780::fault
 class FaultInjector;
 }
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mem
 {
 
@@ -62,6 +68,14 @@ class PhysicalMemory
      * injector queues a machine check for the CPU to take.
      */
     void fillCheck(PAddr pa);
+
+    /**
+     * Checkpoint the memory image. All-zero 4 KB pages are elided, so
+     * a snapshot of a lightly touched 8 MB image stays small while the
+     * restored bytes are identical.
+     */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     void check(PAddr pa, uint32_t n) const;

@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "obs/counters.hh"
 
 namespace upc780::mem
@@ -97,6 +98,26 @@ MemorySubsystem::write(PAddr pa, uint32_t size, uint64_t data,
         obs::count(obs::Ev::MemUnalignedRefs);
     memory_.write(pa, size, data);
     return r;
+}
+
+void
+MemorySubsystem::serialize(ByteWriter &w) const
+{
+    memory_.serialize(w);
+    cache_.serialize(w);
+    sbi_.serialize(w);
+    writeBuffer_.serialize(w);
+    w.u64(unaligned_.value());
+}
+
+void
+MemorySubsystem::deserialize(ByteReader &r)
+{
+    memory_.deserialize(r);
+    cache_.deserialize(r);
+    sbi_.deserialize(r);
+    writeBuffer_.deserialize(r);
+    unaligned_.set(r.u64());
 }
 
 uint32_t

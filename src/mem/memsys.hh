@@ -31,6 +31,12 @@ namespace upc780::fault
 class FaultInjector;
 }
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mem
 {
 
@@ -97,6 +103,10 @@ class MemorySubsystem
 
     /** Unaligned D-stream references observed (paper §3.3.1). */
     uint64_t unalignedRefs() const { return unaligned_.value(); }
+
+    /** Checkpoint the full hierarchy (memory, cache, SBI, buffer). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
     PhysicalMemory &memory() { return memory_; }
     const PhysicalMemory &memory() const { return memory_; }

@@ -1,5 +1,6 @@
 #include "mem/sbi.hh"
 
+#include "common/serial.hh"
 #include "fault/fault.hh"
 
 namespace upc780::mem
@@ -38,6 +39,26 @@ Sbi::startWrite(uint64_t now)
 {
     ++stats_.writeTransactions;
     return start(now, config_.writeLatency);
+}
+
+void
+Sbi::serialize(ByteWriter &w) const
+{
+    w.u64(busyUntil_);
+    w.u64(stats_.readTransactions.value());
+    w.u64(stats_.writeTransactions.value());
+    w.u64(stats_.contentionCycles.value());
+    w.u64(stats_.timeouts.value());
+}
+
+void
+Sbi::deserialize(ByteReader &r)
+{
+    busyUntil_ = r.u64();
+    stats_.readTransactions.set(r.u64());
+    stats_.writeTransactions.set(r.u64());
+    stats_.contentionCycles.set(r.u64());
+    stats_.timeouts.set(r.u64());
 }
 
 } // namespace upc780::mem

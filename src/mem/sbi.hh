@@ -18,6 +18,12 @@ namespace upc780::fault
 class FaultInjector;
 }
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mem
 {
 
@@ -72,6 +78,10 @@ class Sbi
 
     const SbiConfig &config() const { return config_; }
     const SbiStats &stats() const { return stats_; }
+
+    /** Checkpoint occupancy + counters. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     uint64_t start(uint64_t now, uint32_t latency);

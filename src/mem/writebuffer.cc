@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "mem/sbi.hh"
 #include "obs/counters.hh"
 
@@ -42,6 +43,32 @@ uint64_t
 WriteBuffer::drainedAt() const
 {
     return *std::max_element(inflight_.begin(), inflight_.end());
+}
+
+void
+WriteBuffer::serialize(ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(inflight_.size()));
+    for (uint64_t t : inflight_)
+        w.u64(t);
+    w.u64(stats_.writes.value());
+    w.u64(stats_.stalls.value());
+    w.u64(stats_.stallCycles.value());
+}
+
+void
+WriteBuffer::deserialize(ByteReader &r)
+{
+    const uint32_t n = r.u32();
+    if (n != inflight_.size())
+        sim_throw(SnapshotError,
+                  "snapshot write buffer depth %u does not match the "
+                  "machine's %zu", n, inflight_.size());
+    for (uint64_t &t : inflight_)
+        t = r.u64();
+    stats_.writes.set(r.u64());
+    stats_.stalls.set(r.u64());
+    stats_.stallCycles.set(r.u64());
 }
 
 } // namespace upc780::mem

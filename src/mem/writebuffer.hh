@@ -15,6 +15,12 @@
 
 #include "common/stats.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mem
 {
 
@@ -46,6 +52,10 @@ class WriteBuffer
     uint64_t drainedAt() const;
 
     const WriteBufferStats &stats() const { return stats_; }
+
+    /** Checkpoint in-flight drain times + counters. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     Sbi &sbi_;

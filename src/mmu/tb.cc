@@ -3,6 +3,7 @@
 #include "common/bitfield.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "fault/fault.hh"
 #include "obs/counters.hh"
 
@@ -113,6 +114,48 @@ TranslationBuffer::invalidateSingle(VAddr va)
     Entry &e = entries_[half * config_.entriesPerHalf + set];
     if (e.valid && e.tag == tag)
         e.valid = false;
+}
+
+void
+TranslationBuffer::serialize(ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.b(e.valid);
+        w.u32(e.tag);
+        w.u32(e.pfn);
+    }
+    w.u64(stats_.dLookups.value());
+    w.u64(stats_.dMisses.value());
+    w.u64(stats_.iLookups.value());
+    w.u64(stats_.iMisses.value());
+    w.u64(stats_.fills.value());
+    w.u64(stats_.processFlushes.value());
+    w.u64(stats_.allFlushes.value());
+    w.u64(stats_.parityInvalidates.value());
+}
+
+void
+TranslationBuffer::deserialize(ByteReader &r)
+{
+    const uint32_t n = r.u32();
+    if (n != entries_.size())
+        sim_throw(SnapshotError,
+                  "snapshot TB has %u entries but the machine has %zu",
+                  n, entries_.size());
+    for (Entry &e : entries_) {
+        e.valid = r.b();
+        e.tag = r.u32();
+        e.pfn = r.u32();
+    }
+    stats_.dLookups.set(r.u64());
+    stats_.dMisses.set(r.u64());
+    stats_.iLookups.set(r.u64());
+    stats_.iMisses.set(r.u64());
+    stats_.fills.set(r.u64());
+    stats_.processFlushes.set(r.u64());
+    stats_.allFlushes.set(r.u64());
+    stats_.parityInvalidates.set(r.u64());
 }
 
 } // namespace upc780::mmu

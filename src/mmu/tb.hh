@@ -26,6 +26,12 @@ namespace upc780::fault
 class FaultInjector;
 }
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::mmu
 {
 
@@ -88,6 +94,10 @@ class TranslationBuffer
 
     const TbStats &stats() const { return stats_; }
     const TbConfig &config() const { return config_; }
+
+    /** Checkpoint entries + counters. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     struct Entry

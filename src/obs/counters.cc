@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/serial.hh"
+
 namespace upc780::obs
 {
 
@@ -138,6 +140,28 @@ emitCycle(const CycleEvents &ev, bool stalled)
         r->bump(Ev::IrqDispatches);
     if (ev.mcheck)
         r->bump(Ev::MachineChecks);
+}
+
+void
+CounterRegistry::serialize(ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(NumEvents));
+    for (uint64_t v : counters_)
+        w.u64(v);
+    w.u64(enabled_);
+}
+
+void
+CounterRegistry::deserialize(ByteReader &r)
+{
+    const uint32_t n = r.u32();
+    if (n != NumEvents)
+        sim_throw(SnapshotError,
+                  "snapshot counter registry has %u events, this build "
+                  "has %zu", n, NumEvents);
+    for (uint64_t &v : counters_)
+        v = r.u64();
+    enabled_ = r.u64();
 }
 
 bool

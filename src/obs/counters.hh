@@ -32,6 +32,12 @@
 #define UPC780_OBS_ENABLED 1
 #endif
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::obs
 {
 
@@ -142,6 +148,10 @@ class CounterRegistry
         s.counters = counters_;
         return s;
     }
+
+    /** Checkpoint counter values + gate (counters.cc). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     std::array<uint64_t, NumEvents> counters_{};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/serial.hh"
+
 namespace upc780::obs
 {
 
@@ -166,6 +168,51 @@ toChromeJson(const std::vector<TraceEvent> &events)
     }
     out += "\n]}\n";
     return out;
+}
+
+void
+EventTracer::serialize(ByteWriter &w) const
+{
+    w.u64(ring_.size());
+    for (const TraceEvent &e : ring_) {
+        w.u64(e.ts);
+        w.u64(e.arg0);
+        w.u32(e.arg1);
+        w.u32(e.cat);
+        w.u16(e.code);
+        w.u16(e.stream);
+    }
+    w.u32(mask_);
+    w.u64(next_);
+    w.u64(emitted_);
+    w.u64(filtered_);
+}
+
+void
+EventTracer::deserialize(ByteReader &r)
+{
+    const uint64_t n = r.u64();
+    if (n != ring_.size())
+        sim_throw(SnapshotError,
+                  "snapshot trace ring depth %llu does not match the "
+                  "tracer's %zu",
+                  static_cast<unsigned long long>(n), ring_.size());
+    for (TraceEvent &e : ring_) {
+        e.ts = r.u64();
+        e.arg0 = r.u64();
+        e.arg1 = r.u32();
+        e.cat = r.u32();
+        e.code = r.u16();
+        e.stream = r.u16();
+        e.pad = 0;
+    }
+    mask_ = r.u32();
+    next_ = r.u64();
+    if (next_ >= ring_.size())
+        sim_throw(SnapshotError, "snapshot trace ring cursor %zu out of "
+                  "range", next_);
+    emitted_ = r.u64();
+    filtered_ = r.u64();
 }
 
 } // namespace upc780::obs

@@ -126,6 +126,10 @@ class EventTracer
 
     void clear();
 
+    /** Checkpoint ring contents + totals (trace.cc). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     std::vector<TraceEvent> ring_;
     uint32_t mask_ = AllCats;

@@ -56,6 +56,10 @@ class IntervalTimer : public cpu::Device
 
     uint64_t interrupts() const { return interrupts_.value(); }
 
+    /** Checkpoint phase + pending flag + counter (kernel.cc). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     uint64_t period_;
     uint64_t nextAt_;
@@ -119,6 +123,10 @@ class RteTerminal : public cpu::Device
 
     uint64_t interrupts() const { return interrupts_.value(); }
     bool idle() const { return queue_.empty(); }
+
+    /** Checkpoint the event queue + service state (kernel.cc). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     struct Event

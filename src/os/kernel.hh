@@ -136,6 +136,17 @@ class VmsLite
     /** User processes not yet killed by an uncorrectable fault. */
     size_t liveUserProcesses() const;
 
+    /**
+     * Checkpoint the kernel's mutable state: scheduler, process
+     * states, statistics, error log, RNG and both devices. The kernel
+     * code, SCB, label addresses and per-process memory layout are
+     * rebuilt identically by boot() and are not serialized; both sides
+     * of a save/restore must therefore be booted with the same
+     * processes, which the config hash guarantees.
+     */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     struct Process
     {

@@ -12,6 +12,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "sim/run.hh"
 #include "ucode/controlstore.hh"
 
 namespace upc780::sim
@@ -48,7 +49,12 @@ runOne(const ExperimentConfig &cfg, const wkl::WorkloadProfile &profile,
     ExperimentConfig task_cfg = cfg;
     task_cfg.cancel = cancel;
     try {
-        return ExperimentRunner(task_cfg).runWorkload(profile);
+        // The recoverable path: identical to a plain run when the
+        // checkpoint policy is disabled, and the per-task retry/resume
+        // behavior of the serial composite when it is enabled (task
+        // IDs are per profile+seed, so concurrent workers never
+        // collide in the checkpoint directory).
+        return runWorkloadRecoverable(task_cfg, profile);
     } catch (const SimError &e) {
         warn("workload '%s' failed: %s", profile.name.c_str(), e.what());
         WorkloadResult r;

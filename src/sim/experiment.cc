@@ -1,14 +1,10 @@
 #include "sim/experiment.hh"
 
-#include <memory>
-
 #include "common/error.hh"
 #include "common/logging.hh"
-#include "cpu/trace.hh"
-#include "sim/watchdog.hh"
+#include "common/serial.hh"
+#include "sim/run.hh"
 #include "ucode/controlstore.hh"
-#include "ulint/ulint.hh"
-#include "workload/codegen.hh"
 
 namespace upc780::sim
 {
@@ -59,287 +55,127 @@ CompositeResult::allOk() const
     return true;
 }
 
-namespace
+void
+WorkloadResult::serialize(ByteWriter &w) const
 {
-
-/** Snapshot the hardware counters of a machine. */
-HwCounters
-snapshot(cpu::Vax780 &m)
-{
-    HwCounters c;
-    const auto &cs = m.memsys().cache().stats();
-    c.dReads = cs.dReads.value();
-    c.dReadMisses = cs.dReadMisses.value();
-    c.iReads = cs.iReads.value();
-    c.iReadMisses = cs.iReadMisses.value();
-    c.writes = cs.writes.value();
-    c.writeStallCycles =
-        m.memsys().writeBuffer().stats().stallCycles.value();
-    c.unalignedRefs = m.memsys().unalignedRefs();
-    const auto &ts = m.tb().stats();
-    c.tbDMisses = ts.dMisses.value();
-    c.tbIMisses = ts.iMisses.value();
-    c.ibFills = m.ibox().stats().fills.value();
-    return c;
+    w.str(name);
+    histogram.serialize(w);
+    w.u64(cycles);
+    w.u64(hw.dReads);
+    w.u64(hw.dReadMisses);
+    w.u64(hw.iReads);
+    w.u64(hw.iReadMisses);
+    w.u64(hw.writes);
+    w.u64(hw.writeStallCycles);
+    w.u64(hw.unalignedRefs);
+    w.u64(hw.tbDMisses);
+    w.u64(hw.tbIMisses);
+    w.u64(hw.ibFills);
+    w.u64(osStats.contextSwitches);
+    w.u64(osStats.reschedRequests);
+    w.u64(osStats.forkRequests);
+    w.u64(osStats.syscalls);
+    w.u64(osStats.termWrites);
+    w.u64(osStats.machineChecks);
+    w.u64(osStats.faultsCorrected);
+    w.u64(osStats.processesTerminated);
+    w.u64(timerInterrupts);
+    w.u64(terminalInterrupts);
+    for (uint64_t v : faultStats.injected)
+        w.u64(v);
+    for (uint64_t v : obs.counters)
+        w.u64(v);
+    for (uint64_t ns : host.ns)
+        w.u64(ns);
+    w.u64(trace.size());
+    for (const obs::TraceEvent &e : trace) {
+        w.u64(e.ts);
+        w.u64(e.arg0);
+        w.u32(e.arg1);
+        w.u32(e.cat);
+        w.u16(e.code);
+        w.u16(e.stream);
+    }
+    w.u64(errorLog.size());
+    for (const os::ErrorLogEntry &e : errorLog) {
+        w.u64(e.cycle);
+        w.i32(e.pid);
+        w.u8(static_cast<uint8_t>(e.kind));
+        w.b(e.corrected);
+    }
+    w.b(ok);
+    w.str(error);
+    w.u32(attempts);
+    w.u64(resumedFromCycle);
 }
 
-HwCounters
-delta(const HwCounters &a, const HwCounters &b)
+void
+WorkloadResult::deserialize(ByteReader &r)
 {
-    HwCounters d;
-    d.dReads = b.dReads - a.dReads;
-    d.dReadMisses = b.dReadMisses - a.dReadMisses;
-    d.iReads = b.iReads - a.iReads;
-    d.iReadMisses = b.iReadMisses - a.iReadMisses;
-    d.writes = b.writes - a.writes;
-    d.writeStallCycles = b.writeStallCycles - a.writeStallCycles;
-    d.unalignedRefs = b.unalignedRefs - a.unalignedRefs;
-    d.tbDMisses = b.tbDMisses - a.tbDMisses;
-    d.tbIMisses = b.tbIMisses - a.tbIMisses;
-    d.ibFills = b.ibFills - a.ibFills;
-    return d;
+    name = r.str(1 << 10);
+    histogram.deserialize(r);
+    cycles = r.u64();
+    hw.dReads = r.u64();
+    hw.dReadMisses = r.u64();
+    hw.iReads = r.u64();
+    hw.iReadMisses = r.u64();
+    hw.writes = r.u64();
+    hw.writeStallCycles = r.u64();
+    hw.unalignedRefs = r.u64();
+    hw.tbDMisses = r.u64();
+    hw.tbIMisses = r.u64();
+    hw.ibFills = r.u64();
+    osStats.contextSwitches = r.u64();
+    osStats.reschedRequests = r.u64();
+    osStats.forkRequests = r.u64();
+    osStats.syscalls = r.u64();
+    osStats.termWrites = r.u64();
+    osStats.machineChecks = r.u64();
+    osStats.faultsCorrected = r.u64();
+    osStats.processesTerminated = r.u64();
+    timerInterrupts = r.u64();
+    terminalInterrupts = r.u64();
+    for (uint64_t &v : faultStats.injected)
+        v = r.u64();
+    for (uint64_t &v : obs.counters)
+        v = r.u64();
+    for (uint64_t &ns : host.ns)
+        ns = r.u64();
+    trace.resize(r.size(1 << 24));
+    for (obs::TraceEvent &e : trace) {
+        e.ts = r.u64();
+        e.arg0 = r.u64();
+        e.arg1 = r.u32();
+        e.cat = r.u32();
+        e.code = r.u16();
+        e.stream = r.u16();
+        e.pad = 0;
+    }
+    errorLog.resize(r.size(1 << 20));
+    for (os::ErrorLogEntry &e : errorLog) {
+        e.cycle = r.u64();
+        e.pid = r.i32();
+        const uint8_t kind = r.u8();
+        if (kind >= static_cast<uint8_t>(fault::FaultKind::NumKinds))
+            sim_throw(SnapshotError,
+                      "result error log has fault kind %u out of range",
+                      kind);
+        e.kind = static_cast<fault::FaultKind>(kind);
+        e.corrected = r.b();
+    }
+    ok = r.b();
+    error = r.str(1 << 16);
+    attempts = r.u32();
+    resumedFromCycle = r.u64();
 }
-
-} // namespace
 
 WorkloadResult
 ExperimentRunner::runWorkload(const wkl::WorkloadProfile &profile)
 {
-    // Observability for this run: a counter registry (gated to the
-    // measurement window, exactly like the monitor) and, when tracing
-    // was requested, a whole-run event ring. The scope is
-    // thread-local, so under the parallel engine — where each workload
-    // runs wholly on one worker thread — every instrumentation point
-    // in the machine below lands in precisely this run's instruments.
-    obs::CounterRegistry registry;
-    std::unique_ptr<obs::EventTracer> tracer;
-    if (cfg_.obs.traceDepth > 0) {
-        tracer = std::make_unique<obs::EventTracer>(cfg_.obs.traceDepth,
-                                                    cfg_.obs.traceMask);
-    }
-    obs::ObsScope scope(cfg_.obs.counters ? &registry : nullptr,
-                        tracer.get());
-    obs::HostProfile host;
-    auto build_timer = std::make_unique<obs::ScopedTimer>(
-        host, obs::Phase::Build);
-
-    cpu::Vax780 machine(cfg_.machine);
-    os::VmsLite vms(machine, cfg_.os);
-
-    // Retired-instruction events ride on the instruction tracer's
-    // decode-cycle probe (cpu/trace.hh), which knows the machine time.
-    std::unique_ptr<cpu::InstrTracer> instr_events;
-    if (tracer &&
-        (cfg_.obs.traceMask & static_cast<uint32_t>(obs::Cat::Instr))) {
-        instr_events = std::make_unique<cpu::InstrTracer>(
-            machine, 1, /*disassemble=*/false);
-        instr_events->setEventSink(tracer.get());
-        machine.attachProbe(instr_events.get());
-    }
-
-    // Static verification: the histogram is only as trustworthy as the
-    // control-store map it is interpreted against, so lint the image
-    // this machine actually runs. The report is kept either way; even
-    // when startup refusal is disabled, a measured cycle landing on a
-    // flagged address is reported after the run (see below).
-    const ulint::Report lint_report = ulint::lint(machine.microcode());
-    if (cfg_.lintMicrocode && !lint_report.clean()) {
-        sim_throw(LintError,
-                  "workload '%s': refusing to measure on a defective "
-                  "microprogram; ulint reports:\n%s",
-                  profile.name.c_str(), lint_report.toText().c_str());
-    }
-
-    // Fault injection: only attach an injector when a fault source is
-    // configured, so the default run is bit-identical to one without
-    // the subsystem.
-    std::unique_ptr<fault::FaultInjector> injector;
-    if (cfg_.fault.any()) {
-        injector = std::make_unique<fault::FaultInjector>(cfg_.fault);
-        machine.attachFaultInjector(injector.get());
-    }
-
-    for (const auto &image : wkl::buildWorkload(profile))
-        vms.addProcess(image);
-
-    upc::UpcMonitor monitor;
-    machine.attachProbe(&monitor);
-
-    Watchdog watchdog(machine.microcode(), cfg_.watchdogIntervalCycles);
-    machine.attachProbe(&watchdog);
-
-    // Gate the monitor across context switches so the Null process is
-    // excluded from measurement, as the paper's data reduction did.
-    bool measuring = false;
-    bool in_idle = false;
-    // The registry is gated in lockstep with the monitor: both flip
-    // mid-cycle inside the OS-assist microinstruction, and both
-    // bookkeepings observe a cycle only after it finishes (the probe
-    // list and the EBOX's deferred emit), so their windows cover the
-    // identical cycle set — the property the exact-equality
-    // cross-check tests rely on.
-    vms.setSwitchHook([&](int, bool is_idle) {
-        in_idle = is_idle;
-        if (!measuring)
-            return;
-        if (cfg_.excludeIdle && is_idle) {
-            monitor.stop();
-            registry.setEnabled(false);
-        } else {
-            monitor.start();
-            registry.setEnabled(true);
-        }
-    });
-
-    vms.boot();
-
-    const ucode::UAddr decode_addr = machine.microcode().marks.decode;
-    uint64_t max_cycles = cfg_.maxCycles
-                              ? cfg_.maxCycles
-                              : 80 * (cfg_.instructionsPerWorkload +
-                                      cfg_.warmupInstructions) +
-                                    10000000;
-
-    // Stuck-machine checks: the watchdog is consulted every tick
-    // (O(1)); the process-liveness scan is strided since a fault
-    // campaign can kill the whole population, leaving only the Null
-    // process looping forever.
-    uint64_t liveness_check_at = 0;
-    constexpr uint64_t LivenessStride = 8192;
-    auto check_stuck = [&](const char *where) {
-        if (cfg_.cancel &&
-            cfg_.cancel->load(std::memory_order_relaxed)) {
-            sim_throw(WatchdogError,
-                      "workload '%s' cancelled during %s (engine "
-                      "deadline exceeded)\n%s",
-                      profile.name.c_str(), where,
-                      watchdog.diagnostic().c_str());
-        }
-        if (watchdog.expired()) {
-            sim_throw(WatchdogError, "workload '%s' stuck during %s\n%s",
-                      profile.name.c_str(), where,
-                      watchdog.diagnostic().c_str());
-        }
-        if (machine.cycles() >= liveness_check_at) {
-            liveness_check_at = machine.cycles() + LivenessStride;
-            if (vms.liveUserProcesses() == 0) {
-                sim_throw(GuestError,
-                          "workload '%s': all user processes terminated "
-                          "by uncorrectable faults during %s",
-                          profile.name.c_str(), where);
-            }
-        }
-    };
-
-    build_timer.reset();
-
-    // Warm-up: run unmeasured.
-    {
-        obs::ScopedTimer t(host, obs::Phase::Warmup);
-        while (machine.ebox().instructions() < cfg_.warmupInstructions) {
-            if (!machine.tick())
-                sim_throw(GuestError, "machine halted during warm-up");
-            if (machine.cycles() > max_cycles)
-                sim_throw(WatchdogError,
-                          "machine hung during warm-up\n%s",
-                          watchdog.diagnostic().c_str());
-            check_stuck("warm-up");
-        }
-    }
-
-    // Measurement interval.
-    measuring = true;
-    if (!(cfg_.excludeIdle && in_idle)) {
-        monitor.start();
-        registry.setEnabled(true);
-    }
-    obs::event(obs::Cat::Sim, obs::Code::MeasureStart, machine.cycles());
-    HwCounters before = snapshot(machine);
-    uint64_t cycles_at_start = machine.cycles();
-
-    {
-        obs::ScopedTimer t(host, obs::Phase::Measure);
-        while (monitor.histogram().count(decode_addr) <
-               cfg_.instructionsPerWorkload) {
-            if (!machine.tick())
-                sim_throw(GuestError,
-                          "machine halted during measurement");
-            if (machine.cycles() - cycles_at_start > max_cycles) {
-                sim_throw(WatchdogError,
-                          "measurement did not reach its instruction "
-                          "budget (%llu cycles elapsed)\n%s",
-                          static_cast<unsigned long long>(max_cycles),
-                          watchdog.diagnostic().c_str());
-            }
-            check_stuck("measurement");
-        }
-    }
-    monitor.stop();
-    registry.setEnabled(false);
-    obs::event(obs::Cat::Sim, obs::Code::MeasureStop, machine.cycles());
-
-    WorkloadResult r;
-    r.name = profile.name;
-    r.histogram = monitor.histogram();
-    r.cycles = monitor.observedCycles();
-    r.hw = delta(before, snapshot(machine));
-    r.osStats = vms.stats();
-    r.timerInterrupts = vms.timer().interrupts();
-    r.terminalInterrupts = vms.terminal().interrupts();
-    if (injector)
-        r.faultStats = injector->stats();
-    r.errorLog = vms.errorLog();
-    r.obs = registry.snapshot();
-    r.host = host;
-    if (tracer)
-        r.trace = tracer->events();
-
-    // Cycle-accounting audit: the UPC board increments exactly one
-    // bucket counter per observed cycle, so the bucket sum must equal
-    // the observed-cycle count. A mismatch means the monitor or the
-    // cycle loop lost or double-counted cycles.
-    if (cfg_.auditCycleAccounting && r.histogram.totalCycles() != r.cycles) {
-        sim_throw(AuditError,
-                  "cycle accounting mismatch in workload '%s': histogram "
-                  "holds %llu cycles, monitor observed %llu",
-                  profile.name.c_str(),
-                  static_cast<unsigned long long>(
-                      r.histogram.totalCycles()),
-                  static_cast<unsigned long long>(r.cycles));
-    }
-
-    // Attribution audit: measured cycles that landed on a micro-address
-    // ulint flagged mean the derived tables are built on a defective
-    // word. Raised after measurement so a run with startup lint
-    // disabled still surfaces the finding in its partial-result report.
-    if (!lint_report.clean()) {
-        uint64_t touched_cycles = 0;
-        std::string rules;
-        for (ucode::UAddr a : ulint::flaggedAddresses(lint_report)) {
-            uint64_t n = r.histogram.count(a) + r.histogram.stall(a);
-            if (n == 0)
-                continue;
-            touched_cycles += n;
-            for (const ulint::Finding &f : lint_report.findings) {
-                if (f.addr == a &&
-                    rules.find(f.rule) == std::string::npos) {
-                    if (!rules.empty())
-                        rules += ", ";
-                    rules += f.rule;
-                }
-            }
-        }
-        if (touched_cycles) {
-            sim_throw(LintError,
-                      "workload '%s': histogram attributes %llu cycles "
-                      "to micro-addresses flagged by ulint (%s); the "
-                      "derived tables would be silently corrupt",
-                      profile.name.c_str(),
-                      static_cast<unsigned long long>(touched_cycles),
-                      rules.c_str());
-        }
-    }
-    return r;
+    // One plain attempt, checkpointing per policy but no retries: the
+    // historical semantics. Retry/resume orchestration lives in
+    // runWorkloadRecoverable (sim/run.hh), which runComposite uses.
+    return WorkloadRun(cfg_, profile).run();
 }
 
 CompositeResult
@@ -350,7 +186,7 @@ ExperimentRunner::runComposite(
     for (const auto &p : profiles) {
         WorkloadResult r;
         try {
-            r = runWorkload(p);
+            r = runWorkloadRecoverable(cfg_, p);
         } catch (const SimError &e) {
             // Partial results: record the failure and keep going, as
             // an overnight measurement campaign must.

@@ -22,6 +22,7 @@
 #include "obs/hostprof.hh"
 #include "obs/trace.hh"
 #include "os/kernel.hh"
+#include "snap/snapshot.hh"
 #include "upc/monitor.hh"
 #include "workload/profile.hh"
 
@@ -75,6 +76,15 @@ struct WorkloadResult
     /** False if the run was aborted; @ref error says why. */
     bool ok = true;
     std::string error;
+
+    /** Attempts it took (1 = first try; >1 means watchdog retries). */
+    uint32_t attempts = 1;
+    /** Checkpoint cycle the final attempt resumed from (0: fresh). */
+    uint64_t resumedFromCycle = 0;
+
+    /** Persistable to a `.result` snapshot file (see sim/run.hh). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 };
 
 /** The five-workload composite. */
@@ -161,6 +171,17 @@ struct ExperimentConfig
      * verifier exists to catch.
      */
     bool lintMicrocode = true;
+
+    /**
+     * Checkpoint/retry/resume policy (see snap/snapshot.hh). Disabled
+     * by default (empty directory); when enabled, runs write periodic
+     * machine-state checkpoints, watchdog trips retry from the newest
+     * one (runWorkloadRecoverable), and completed workloads persist
+     * `.result` files an interrupted composite can resume from.
+     * Excluded from the snapshot config hash: the policy changes what
+     * the harness does around the machine, never the machine itself.
+     */
+    snap::CheckpointPolicy checkpoint;
 
     /**
      * Cooperative cancellation, polled alongside the watchdog (O(1),

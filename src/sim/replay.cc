@@ -1,0 +1,111 @@
+#include "sim/replay.hh"
+
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "sim/run.hh"
+#include "snap/snapshot.hh"
+
+namespace upc780::sim
+{
+
+std::string
+ReplaySweep::toText() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "replay sweep from checkpoint at cycle %llu\n"
+                  "  %-12s %-16s %-4s %8s %9s %6s %12s\n",
+                  static_cast<unsigned long long>(baselineCycle),
+                  "inject@", "kind", "ok", "mchecks", "corrected",
+                  "killed", "cycles");
+    out += line;
+    for (const ReplayOutcome &o : outcomes) {
+        std::snprintf(
+            line, sizeof(line),
+            "  %-12llu %-16s %-4s %8llu %9llu %6llu %12llu\n",
+            static_cast<unsigned long long>(o.injectionCycle),
+            std::string(fault::faultName(o.kind)).c_str(),
+            o.ok ? "yes" : "NO",
+            static_cast<unsigned long long>(o.machineChecks),
+            static_cast<unsigned long long>(o.faultsCorrected),
+            static_cast<unsigned long long>(o.processesTerminated),
+            static_cast<unsigned long long>(o.cycles));
+        out += line;
+    }
+    return out;
+}
+
+ReplaySweep
+replayFaultSweep(const ExperimentConfig &cfg,
+                 const wkl::WorkloadProfile &profile,
+                 fault::FaultKind kind, uint64_t checkpointAtCycle,
+                 const std::vector<uint64_t> &offsetCycles)
+{
+    if (!cfg.checkpoint.enabled())
+        sim_throw(ConfigError,
+                  "replayFaultSweep needs cfg.checkpoint.dir: the "
+                  "baseline snapshot has to land somewhere");
+
+    // Baseline: one checkpoint at the rewind point, no scheduled
+    // injections. Its config hash equals every replay's (both the
+    // injection list and the checkpoint cadence are excluded), which
+    // is what lets the replays restore it.
+    ExperimentConfig base_cfg = cfg;
+    base_cfg.fault.cycleInjections.clear();
+    base_cfg.checkpoint.everyCycles = 0;
+    base_cfg.checkpoint.atCycles = {checkpointAtCycle};
+    base_cfg.checkpoint.simulatedCrashCycles.clear();
+
+    WorkloadRun baseline(base_cfg, profile);
+    baseline.run();
+
+    ReplaySweep sweep;
+    sweep.checkpointPath = snap::latestCheckpoint(
+        base_cfg.checkpoint.dir, baseline.taskId());
+    if (sweep.checkpointPath.empty())
+        sim_throw(SnapshotError,
+                  "baseline run of '%s' wrote no checkpoint (requested "
+                  "cycle %llu past the end of the run?)",
+                  profile.name.c_str(),
+                  static_cast<unsigned long long>(checkpointAtCycle));
+    sweep.baselineCycle =
+        snap::SnapshotReader::fromFile(sweep.checkpointPath)
+            .meta()
+            .cycle;
+
+    // Replays: rewind, arm one injection, run to the end. No further
+    // checkpoints — the replays must not disturb the baseline's.
+    for (uint64_t offset : offsetCycles) {
+        ReplayOutcome o;
+        o.kind = kind;
+        o.injectionCycle = sweep.baselineCycle + offset;
+
+        ExperimentConfig replay_cfg = base_cfg;
+        replay_cfg.checkpoint.atCycles.clear();
+        replay_cfg.fault.cycleInjections = {{o.injectionCycle, kind}};
+
+        try {
+            WorkloadRun run(replay_cfg, profile);
+            run.restore(sweep.checkpointPath);
+            WorkloadResult r = run.run();
+            o.ok = true;
+            o.machineChecks = r.osStats.machineChecks;
+            o.faultsCorrected = r.osStats.faultsCorrected;
+            o.processesTerminated = r.osStats.processesTerminated;
+            o.cycles = r.cycles;
+        } catch (const SimError &e) {
+            warn("replay at cycle %llu failed: %s",
+                 static_cast<unsigned long long>(o.injectionCycle),
+                 e.what());
+            o.ok = false;
+            o.error = e.what();
+        }
+        sweep.outcomes.push_back(std::move(o));
+    }
+    return sweep;
+}
+
+} // namespace upc780::sim

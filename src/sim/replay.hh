@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replay-from-snapshot fault studies: run a workload once to a
+ * baseline checkpoint, then repeatedly rewind to it and deliver a
+ * machine check at varying cycles — "what if the ECC error had hit one
+ * cycle later?" — without ever re-simulating the common prefix.
+ *
+ * This is the experimental payoff of deterministic checkpoint/restore:
+ * because a restored run retraces the original bit for bit, any
+ * divergence between two replays is attributable to the injected
+ * fault alone, at single-cycle resolution. The classic trace-driven
+ * alternative (re-run from boot with a different schedule) spends the
+ * whole prefix again per point and still cannot guarantee the
+ * pre-fault states were identical.
+ */
+
+#ifndef UPC780_SIM_REPLAY_HH
+#define UPC780_SIM_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace upc780::sim
+{
+
+/** One replay point's fate. */
+struct ReplayOutcome
+{
+    uint64_t injectionCycle = 0; //!< absolute machine cycle injected at
+    fault::FaultKind kind = fault::FaultKind::MemEccSingle;
+
+    bool ok = false;    //!< the run completed its measurement
+    std::string error;  //!< failure text when !ok
+
+    // Recovery bookkeeping from the completed run (zero when !ok).
+    uint64_t machineChecks = 0;
+    uint64_t faultsCorrected = 0;
+    uint64_t processesTerminated = 0;
+    uint64_t cycles = 0; //!< measured cycles (divergence witness)
+};
+
+/** A whole sweep: the shared baseline plus one outcome per offset. */
+struct ReplaySweep
+{
+    uint64_t baselineCycle = 0;  //!< cycle of the shared checkpoint
+    std::string checkpointPath;  //!< the snapshot every replay rewound to
+    std::vector<ReplayOutcome> outcomes;
+
+    /** Aligned text table of the outcomes. */
+    std::string toText() const;
+};
+
+/**
+ * Run the sweep: checkpoint the workload once at (or just after)
+ * @p checkpointAtCycle, then for each entry of @p offsetCycles restore
+ * that checkpoint and deliver a machine check of @p kind at
+ * `baselineCycle + offset`, running each replay to completion.
+ *
+ * Requires cfg.checkpoint.dir (ConfigError otherwise) — that is where
+ * the baseline snapshot lands. Any cycleInjections already in
+ * cfg.fault are replaced per replay; the baseline runs without them.
+ * A replay that fails (e.g. an uncorrectable fault killing the whole
+ * population) is recorded as a not-ok outcome, and the sweep goes on.
+ */
+ReplaySweep replayFaultSweep(const ExperimentConfig &cfg,
+                             const wkl::WorkloadProfile &profile,
+                             fault::FaultKind kind,
+                             uint64_t checkpointAtCycle,
+                             const std::vector<uint64_t> &offsetCycles);
+
+} // namespace upc780::sim
+
+#endif // UPC780_SIM_REPLAY_HH

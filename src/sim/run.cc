@@ -1,0 +1,736 @@
+#include "sim/run.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serial.hh"
+#include "ucode/controlstore.hh"
+#include "workload/codegen.hh"
+
+namespace upc780::sim
+{
+
+namespace
+{
+
+/** Snapshot the hardware counters of a machine. */
+HwCounters
+snapshotHw(cpu::Vax780 &m)
+{
+    HwCounters c;
+    const auto &cs = m.memsys().cache().stats();
+    c.dReads = cs.dReads.value();
+    c.dReadMisses = cs.dReadMisses.value();
+    c.iReads = cs.iReads.value();
+    c.iReadMisses = cs.iReadMisses.value();
+    c.writes = cs.writes.value();
+    c.writeStallCycles =
+        m.memsys().writeBuffer().stats().stallCycles.value();
+    c.unalignedRefs = m.memsys().unalignedRefs();
+    const auto &ts = m.tb().stats();
+    c.tbDMisses = ts.dMisses.value();
+    c.tbIMisses = ts.iMisses.value();
+    c.ibFills = m.ibox().stats().fills.value();
+    return c;
+}
+
+HwCounters
+delta(const HwCounters &a, const HwCounters &b)
+{
+    HwCounters d;
+    d.dReads = b.dReads - a.dReads;
+    d.dReadMisses = b.dReadMisses - a.dReadMisses;
+    d.iReads = b.iReads - a.iReads;
+    d.iReadMisses = b.iReadMisses - a.iReadMisses;
+    d.writes = b.writes - a.writes;
+    d.writeStallCycles = b.writeStallCycles - a.writeStallCycles;
+    d.unalignedRefs = b.unalignedRefs - a.unalignedRefs;
+    d.tbDMisses = b.tbDMisses - a.tbDMisses;
+    d.tbIMisses = b.tbIMisses - a.tbIMisses;
+    d.ibFills = b.ibFills - a.ibFills;
+    return d;
+}
+
+void
+hashHw(ByteWriter &w, const HwCounters &c)
+{
+    w.u64(c.dReads);
+    w.u64(c.dReadMisses);
+    w.u64(c.iReads);
+    w.u64(c.iReadMisses);
+    w.u64(c.writes);
+    w.u64(c.writeStallCycles);
+    w.u64(c.unalignedRefs);
+    w.u64(c.tbDMisses);
+    w.u64(c.tbIMisses);
+    w.u64(c.ibFills);
+}
+
+} // namespace
+
+uint64_t
+configHash(const ExperimentConfig &cfg, const wkl::WorkloadProfile &p)
+{
+    // Everything that shapes the run's trajectory, serialized into a
+    // canonical byte stream and hashed. Deliberately absent:
+    // cfg.fault.cycleInjections, cfg.checkpoint (cadence, crash knob,
+    // retries), and cfg.cancel — none of them change what a restored
+    // machine *is*, only what the harness does around it.
+    ByteWriter w;
+
+    const cpu::MachineConfig &m = cfg.machine;
+    w.u32(m.mem.cache.sizeBytes);
+    w.u32(m.mem.cache.ways);
+    w.u32(m.mem.cache.blockBytes);
+    w.b(m.mem.cache.enabled);
+    w.u32(m.mem.sbi.readLatency);
+    w.u32(m.mem.sbi.writeLatency);
+    w.u32(m.mem.writeBufferDepth);
+    w.u32(m.mem.memSize);
+    w.u32(m.tb.entriesPerHalf);
+    w.b(m.tb.enabled);
+    w.b(m.fpa);
+    w.b(m.rmodeDecode);
+    // A custom image pointer cannot be hashed by value; record its
+    // presence so a lint-test machine never resumes a stock snapshot.
+    w.b(m.image != nullptr);
+
+    w.u64(cfg.os.timerPeriodCycles);
+    w.u32(cfg.os.quantumTicks);
+    w.u64(cfg.os.seed);
+
+    w.str(p.name);
+    w.f64(p.weights.intLoop);
+    w.f64(p.weights.dataMove);
+    w.f64(p.weights.branchy);
+    w.f64(p.weights.callTree);
+    w.f64(p.weights.subrCalls);
+    w.f64(p.weights.stringOps);
+    w.f64(p.weights.floatKernel);
+    w.f64(p.weights.intMulDiv);
+    w.f64(p.weights.fieldOps);
+    w.f64(p.weights.bitBranches);
+    w.f64(p.weights.caseDispatch);
+    w.f64(p.weights.decimalOps);
+    w.f64(p.weights.queueOps);
+    w.f64(p.weights.sysWrite);
+    w.u32(p.users);
+    w.u32(p.sessionRepeat);
+    w.u32(p.dataPages);
+    w.u32(p.codeBlocks);
+    w.f64(p.thinkMeanCycles);
+    w.f64(p.loopIterMean);
+    w.u64(p.seed);
+
+    w.u64(cfg.instructionsPerWorkload);
+    w.u64(cfg.warmupInstructions);
+    w.b(cfg.excludeIdle);
+    w.u64(cfg.maxCycles);
+
+    w.b(cfg.obs.counters);
+    w.u32(cfg.obs.traceDepth);
+    w.u32(cfg.obs.traceMask);
+
+    const fault::FaultConfig &f = cfg.fault;
+    w.u64(f.seed);
+    w.f64(f.memEccSingleRate);
+    w.f64(f.memEccDoubleRate);
+    w.f64(f.sbiTimeoutRate);
+    w.f64(f.tbParityRate);
+    w.f64(f.csParityRate);
+    w.u32(f.sbiTimeoutPenaltyCycles);
+    w.u32(static_cast<uint32_t>(f.schedule.size()));
+    for (const fault::FaultSchedule &s : f.schedule) {
+        w.u8(static_cast<uint8_t>(s.kind));
+        w.u64(s.access);
+    }
+
+    w.u64(cfg.watchdogIntervalCycles);
+    w.b(cfg.auditCycleAccounting);
+    w.b(cfg.lintMicrocode);
+
+    return snap::fnv1a(w.data());
+}
+
+WorkloadRun::WorkloadRun(const ExperimentConfig &cfg,
+                         const wkl::WorkloadProfile &profile,
+                         uint32_t attempt)
+    : cfg_(cfg), profile_(profile), attempt_(attempt),
+      configHash_(sim::configHash(cfg, profile)),
+      taskId_(snap::taskId(profile.name, profile.seed))
+{
+    // The body below is the historical runWorkload preamble, member
+    // for member, in the same order — construction must stay
+    // deterministic and consume no randomness beyond what the seeds
+    // drive, or a restored run would diverge from the original.
+    if (cfg_.obs.traceDepth > 0) {
+        tracer_ = std::make_unique<obs::EventTracer>(cfg_.obs.traceDepth,
+                                                     cfg_.obs.traceMask);
+    }
+    scope_.emplace(cfg_.obs.counters ? &registry_ : nullptr,
+                   tracer_.get());
+    obs::ScopedTimer build_timer(host_, obs::Phase::Build);
+
+    machine_ = std::make_unique<cpu::Vax780>(cfg_.machine);
+    vms_ = std::make_unique<os::VmsLite>(*machine_, cfg_.os);
+
+    if (tracer_ &&
+        (cfg_.obs.traceMask & static_cast<uint32_t>(obs::Cat::Instr))) {
+        instrEvents_ = std::make_unique<cpu::InstrTracer>(
+            *machine_, 1, /*disassemble=*/false);
+        instrEvents_->setEventSink(tracer_.get());
+        machine_->attachProbe(instrEvents_.get());
+    }
+
+    lintReport_ = ulint::lint(machine_->microcode());
+    if (cfg_.lintMicrocode && !lintReport_.clean()) {
+        sim_throw(LintError,
+                  "workload '%s': refusing to measure on a defective "
+                  "microprogram; ulint reports:\n%s",
+                  profile_.name.c_str(), lintReport_.toText().c_str());
+    }
+
+    if (cfg_.fault.any()) {
+        injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+        machine_->attachFaultInjector(injector_.get());
+    }
+
+    for (const auto &image : wkl::buildWorkload(profile_))
+        vms_->addProcess(image);
+
+    machine_->attachProbe(&monitor_);
+
+    watchdog_ = std::make_unique<Watchdog>(machine_->microcode(),
+                                           cfg_.watchdogIntervalCycles);
+    machine_->attachProbe(watchdog_.get());
+
+    vms_->setSwitchHook([this](int, bool is_idle) {
+        inIdle_ = is_idle;
+        if (!measuring_)
+            return;
+        if (cfg_.excludeIdle && is_idle) {
+            monitor_.stop();
+            registry_.setEnabled(false);
+        } else {
+            monitor_.start();
+            registry_.setEnabled(true);
+        }
+    });
+
+    vms_->boot();
+
+    decodeAddr_ = machine_->microcode().marks.decode;
+    maxCycles_ = cfg_.maxCycles
+                     ? cfg_.maxCycles
+                     : 80 * (cfg_.instructionsPerWorkload +
+                             cfg_.warmupInstructions) +
+                           10000000;
+
+    atCycles_ = cfg_.checkpoint.atCycles;
+    std::sort(atCycles_.begin(), atCycles_.end());
+    periodicNext_ = cfg_.checkpoint.everyCycles;
+    injections_ = cfg_.fault.cycleInjections;
+    std::stable_sort(injections_.begin(), injections_.end(),
+                     [](const fault::CycleInjection &a,
+                        const fault::CycleInjection &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+void
+WorkloadRun::checkStuck(const char *where)
+{
+    if (cfg_.cancel && cfg_.cancel->load(std::memory_order_relaxed)) {
+        sim_throw(WatchdogError,
+                  "workload '%s' cancelled during %s (engine "
+                  "deadline exceeded)\n%s",
+                  profile_.name.c_str(), where,
+                  watchdog_->diagnostic().c_str());
+    }
+    if (watchdog_->expired()) {
+        sim_throw(WatchdogError, "workload '%s' stuck during %s\n%s",
+                  profile_.name.c_str(), where,
+                  watchdog_->diagnostic().c_str());
+    }
+    if (machine_->cycles() >= livenessCheckAt_) {
+        constexpr uint64_t LivenessStride = 8192;
+        livenessCheckAt_ = machine_->cycles() + LivenessStride;
+        if (vms_->liveUserProcesses() == 0) {
+            sim_throw(GuestError,
+                      "workload '%s': all user processes terminated "
+                      "by uncorrectable faults during %s",
+                      profile_.name.c_str(), where);
+        }
+    }
+}
+
+void
+WorkloadRun::loopTop(const char *where)
+{
+    const uint64_t now = machine_->cycles();
+
+    // 1. Checkpoint triggers. Saving is pure observation — it touches
+    //    no machine or RNG state — so a run with checkpointing on is
+    //    bit-identical to one without (a snap-labeled test pins this).
+    if (cfg_.checkpoint.enabled()) {
+        bool due = false;
+        if (cfg_.checkpoint.everyCycles && now >= periodicNext_)
+            due = true;
+        if (atIdx_ < atCycles_.size() && now >= atCycles_[atIdx_])
+            due = true;
+        if (due)
+            saveCheckpoint();
+    }
+
+    // 2. Simulated crash (chaos knob): attempt i dies when it reaches
+    //    simulatedCrashCycles[i]; attempts past the list run free.
+    if (attempt_ < cfg_.checkpoint.simulatedCrashCycles.size() &&
+        now >= cfg_.checkpoint.simulatedCrashCycles[attempt_]) {
+        sim_throw(WatchdogError,
+                  "workload '%s': simulated crash at cycle %llu "
+                  "(attempt %u, during %s)\n%s",
+                  profile_.name.c_str(),
+                  static_cast<unsigned long long>(now), attempt_, where,
+                  watchdog_->diagnostic().c_str());
+    }
+
+    // 3. Cycle-scheduled machine checks: delivered here, after the
+    //    checkpoint trigger, so a checkpoint at the injection cycle
+    //    captures the pre-fault machine — the state a replay sweep
+    //    rewinds to.
+    while (injectIdx_ < injections_.size() &&
+           now >= injections_[injectIdx_].cycle) {
+        machine_->ebox().raiseMachineCheck(
+            fault::mcheckCode(injections_[injectIdx_].kind));
+        ++injectIdx_;
+    }
+}
+
+void
+WorkloadRun::saveCheckpoint()
+{
+    const uint64_t now = machine_->cycles();
+
+    // Advance the schedule past this trigger first, so one trigger
+    // produces exactly one file. (Restore recomputes the schedule from
+    // the clock, so none of this is serialized.)
+    if (cfg_.checkpoint.everyCycles)
+        while (periodicNext_ <= now)
+            periodicNext_ += cfg_.checkpoint.everyCycles;
+    while (atIdx_ < atCycles_.size() && atCycles_[atIdx_] <= now)
+        ++atIdx_;
+
+    snap::SnapshotMeta meta;
+    meta.kind = snap::SnapshotKind::Checkpoint;
+    meta.workload = profile_.name;
+    meta.configHash = configHash_;
+    meta.cycle = now;
+    meta.instructions = machine_->ebox().instructions();
+    meta.attempt = attempt_;
+    snap::SnapshotWriter sw(meta);
+
+    {
+        ByteWriter w;
+        machine_->serialize(w);
+        sw.add("machine", std::move(w));
+    }
+    {
+        ByteWriter w;
+        vms_->serialize(w);
+        sw.add("kernel", std::move(w));
+    }
+    {
+        ByteWriter w;
+        monitor_.serialize(w);
+        sw.add("monitor", std::move(w));
+    }
+    {
+        ByteWriter w;
+        registry_.serialize(w);
+        sw.add("counters", std::move(w));
+    }
+    if (tracer_) {
+        ByteWriter w;
+        tracer_->serialize(w);
+        sw.add("tracer", std::move(w));
+    }
+    if (instrEvents_) {
+        ByteWriter w;
+        instrEvents_->serialize(w);
+        sw.add("instr", std::move(w));
+    }
+    if (injector_) {
+        ByteWriter w;
+        injector_->serialize(w);
+        sw.add("injector", std::move(w));
+    }
+    {
+        ByteWriter w;
+        watchdog_->serialize(w);
+        sw.add("watchdog", std::move(w));
+    }
+    {
+        ByteWriter w;
+        serializeRunner(w);
+        sw.add("runner", std::move(w));
+    }
+
+    sw.writeFile(
+        snap::checkpointPath(cfg_.checkpoint.dir, taskId_, now));
+    lastCheckpoint_ = now;
+    watchdog_->noteCheckpoint(now);
+}
+
+void
+WorkloadRun::serializeRunner(ByteWriter &w) const
+{
+    w.u8(static_cast<uint8_t>(phase_));
+    w.b(measuring_);
+    w.b(inIdle_);
+    hashHw(w, before_);
+    w.u64(cyclesAtStart_);
+    w.u64(livenessCheckAt_);
+    // Host wall-clock, for completeness only: nondeterministic, never
+    // part of an equality check.
+    for (uint64_t ns : host_.ns)
+        w.u64(ns);
+}
+
+void
+WorkloadRun::deserializeRunner(ByteReader &r)
+{
+    const uint8_t phase = r.u8();
+    if (phase > static_cast<uint8_t>(Phase::Measure))
+        sim_throw(SnapshotError, "snapshot runner phase %u out of range",
+                  phase);
+    phase_ = static_cast<Phase>(phase);
+    measuring_ = r.b();
+    inIdle_ = r.b();
+    before_.dReads = r.u64();
+    before_.dReadMisses = r.u64();
+    before_.iReads = r.u64();
+    before_.iReadMisses = r.u64();
+    before_.writes = r.u64();
+    before_.writeStallCycles = r.u64();
+    before_.unalignedRefs = r.u64();
+    before_.tbDMisses = r.u64();
+    before_.tbIMisses = r.u64();
+    before_.ibFills = r.u64();
+    cyclesAtStart_ = r.u64();
+    livenessCheckAt_ = r.u64();
+    for (uint64_t &ns : host_.ns)
+        ns = r.u64();
+}
+
+void
+WorkloadRun::restore(const std::string &path)
+{
+    snap::SnapshotReader snap = snap::SnapshotReader::fromFile(path);
+    const snap::SnapshotMeta &m = snap.meta();
+    if (m.kind != snap::SnapshotKind::Checkpoint)
+        sim_throw(SnapshotError, "'%s' is not a checkpoint snapshot",
+                  path.c_str());
+    if (m.workload != profile_.name)
+        sim_throw(SnapshotError,
+                  "checkpoint '%s' belongs to workload '%s', not '%s'",
+                  path.c_str(), m.workload.c_str(),
+                  profile_.name.c_str());
+    if (m.configHash != configHash_)
+        sim_throw(SnapshotError,
+                  "checkpoint '%s' was taken under a different "
+                  "configuration (hash %016llx, this run %016llx); "
+                  "resuming it would not be the same experiment",
+                  path.c_str(),
+                  static_cast<unsigned long long>(m.configHash),
+                  static_cast<unsigned long long>(configHash_));
+
+    // Optional sections must mirror this run's optional instruments.
+    // The config hash already covers the knobs that create them, so a
+    // mismatch here means a malformed file, not a config difference.
+    auto expect_section = [&](const char *name, bool want) {
+        if (want && !snap.has(name))
+            sim_throw(SnapshotError,
+                      "checkpoint '%s' lacks the '%s' section this run "
+                      "needs", path.c_str(), name);
+        if (!want && snap.has(name))
+            sim_throw(SnapshotError,
+                      "checkpoint '%s' carries a '%s' section this run "
+                      "has no instrument for", path.c_str(), name);
+    };
+    expect_section("tracer", tracer_ != nullptr);
+    expect_section("instr", instrEvents_ != nullptr);
+    expect_section("injector", injector_ != nullptr);
+
+    auto load = [&](const char *name, auto &target) {
+        ByteReader r = snap.open(name);
+        target.deserialize(r);
+        r.expectEnd(name);
+    };
+    load("machine", *machine_);
+    load("kernel", *vms_);
+    load("monitor", monitor_);
+    load("counters", registry_);
+    if (tracer_)
+        load("tracer", *tracer_);
+    if (instrEvents_)
+        load("instr", *instrEvents_);
+    if (injector_)
+        load("injector", *injector_);
+    load("watchdog", *watchdog_);
+    {
+        ByteReader r = snap.open("runner");
+        deserializeRunner(r);
+        r.expectEnd("runner");
+    }
+
+    // Re-derive the checkpoint/injection schedules against the
+    // restored clock: strictly past events are skipped, events at or
+    // after the restore point fire exactly as the uninterrupted run
+    // fired them (the checkpoint was written before same-cycle
+    // delivery, see loopTop).
+    const uint64_t now = machine_->cycles();
+    if (cfg_.checkpoint.everyCycles) {
+        periodicNext_ =
+            (now / cfg_.checkpoint.everyCycles + 1) *
+            cfg_.checkpoint.everyCycles;
+    }
+    atIdx_ = 0;
+    while (atIdx_ < atCycles_.size() && atCycles_[atIdx_] <= now)
+        ++atIdx_;
+    injectIdx_ = 0;
+    while (injectIdx_ < injections_.size() &&
+           injections_[injectIdx_].cycle < now)
+        ++injectIdx_;
+
+    resumedFrom_ = m.cycle;
+    lastCheckpoint_ = m.cycle;
+    watchdog_->noteCheckpoint(m.cycle);
+}
+
+void
+WorkloadRun::beginMeasurement()
+{
+    phase_ = Phase::Measure;
+    measuring_ = true;
+    if (!(cfg_.excludeIdle && inIdle_)) {
+        monitor_.start();
+        registry_.setEnabled(true);
+    }
+    obs::event(obs::Cat::Sim, obs::Code::MeasureStart,
+               machine_->cycles());
+    before_ = snapshotHw(*machine_);
+    cyclesAtStart_ = machine_->cycles();
+}
+
+WorkloadResult
+WorkloadRun::run()
+{
+    if (phase_ == Phase::Warmup) {
+        obs::ScopedTimer t(host_, obs::Phase::Warmup);
+        while (machine_->ebox().instructions() <
+               cfg_.warmupInstructions) {
+            loopTop("warm-up");
+            if (!machine_->tick())
+                sim_throw(GuestError, "machine halted during warm-up");
+            if (machine_->cycles() > maxCycles_)
+                sim_throw(WatchdogError,
+                          "machine hung during warm-up\n%s",
+                          watchdog_->diagnostic().c_str());
+            checkStuck("warm-up");
+        }
+        beginMeasurement();
+    }
+
+    {
+        obs::ScopedTimer t(host_, obs::Phase::Measure);
+        while (monitor_.histogram().count(decodeAddr_) <
+               cfg_.instructionsPerWorkload) {
+            loopTop("measurement");
+            if (!machine_->tick())
+                sim_throw(GuestError,
+                          "machine halted during measurement");
+            if (machine_->cycles() - cyclesAtStart_ > maxCycles_) {
+                sim_throw(WatchdogError,
+                          "measurement did not reach its instruction "
+                          "budget (%llu cycles elapsed)\n%s",
+                          static_cast<unsigned long long>(maxCycles_),
+                          watchdog_->diagnostic().c_str());
+            }
+            checkStuck("measurement");
+        }
+    }
+    monitor_.stop();
+    registry_.setEnabled(false);
+    obs::event(obs::Cat::Sim, obs::Code::MeasureStop,
+               machine_->cycles());
+
+    WorkloadResult r;
+    r.name = profile_.name;
+    r.histogram = monitor_.histogram();
+    r.cycles = monitor_.observedCycles();
+    r.hw = delta(before_, snapshotHw(*machine_));
+    r.osStats = vms_->stats();
+    r.timerInterrupts = vms_->timer().interrupts();
+    r.terminalInterrupts = vms_->terminal().interrupts();
+    if (injector_)
+        r.faultStats = injector_->stats();
+    r.errorLog = vms_->errorLog();
+    r.obs = registry_.snapshot();
+    r.host = host_;
+    if (tracer_)
+        r.trace = tracer_->events();
+    r.attempts = attempt_ + 1;
+    r.resumedFromCycle = resumedFrom_;
+
+    if (cfg_.auditCycleAccounting &&
+        r.histogram.totalCycles() != r.cycles) {
+        sim_throw(AuditError,
+                  "cycle accounting mismatch in workload '%s': "
+                  "histogram holds %llu cycles, monitor observed %llu",
+                  profile_.name.c_str(),
+                  static_cast<unsigned long long>(
+                      r.histogram.totalCycles()),
+                  static_cast<unsigned long long>(r.cycles));
+    }
+
+    if (!lintReport_.clean()) {
+        uint64_t touched_cycles = 0;
+        std::string rules;
+        for (ucode::UAddr a : ulint::flaggedAddresses(lintReport_)) {
+            uint64_t n = r.histogram.count(a) + r.histogram.stall(a);
+            if (n == 0)
+                continue;
+            touched_cycles += n;
+            for (const ulint::Finding &f : lintReport_.findings) {
+                if (f.addr == a &&
+                    rules.find(f.rule) == std::string::npos) {
+                    if (!rules.empty())
+                        rules += ", ";
+                    rules += f.rule;
+                }
+            }
+        }
+        if (touched_cycles) {
+            sim_throw(LintError,
+                      "workload '%s': histogram attributes %llu cycles "
+                      "to micro-addresses flagged by ulint (%s); the "
+                      "derived tables would be silently corrupt",
+                      profile_.name.c_str(),
+                      static_cast<unsigned long long>(touched_cycles),
+                      rules.c_str());
+        }
+    }
+    return r;
+}
+
+// ----- result persistence ----------------------------------------------
+
+void
+saveResultFile(const std::string &path, const WorkloadResult &r,
+               uint64_t configHash)
+{
+    snap::SnapshotMeta meta;
+    meta.kind = snap::SnapshotKind::Result;
+    meta.workload = r.name;
+    meta.configHash = configHash;
+    meta.cycle = r.cycles;
+    meta.instructions =
+        r.histogram.count(ucode::microcodeImage().marks.decode);
+    meta.attempt = r.attempts ? r.attempts - 1 : 0;
+    snap::SnapshotWriter sw(meta);
+    ByteWriter w;
+    r.serialize(w);
+    sw.add("result", std::move(w));
+    sw.writeFile(path);
+}
+
+WorkloadResult
+loadResultFile(const std::string &path, uint64_t expectHash)
+{
+    snap::SnapshotReader snap = snap::SnapshotReader::fromFile(path);
+    if (snap.meta().kind != snap::SnapshotKind::Result)
+        sim_throw(SnapshotError, "'%s' is not a result snapshot",
+                  path.c_str());
+    if (snap.meta().configHash != expectHash)
+        sim_throw(SnapshotError,
+                  "result '%s' was produced under a different "
+                  "configuration (hash %016llx, this run %016llx)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(
+                      snap.meta().configHash),
+                  static_cast<unsigned long long>(expectHash));
+    WorkloadResult r;
+    ByteReader br = snap.open("result");
+    r.deserialize(br);
+    br.expectEnd("result");
+    return r;
+}
+
+// ----- retry / resume orchestration ------------------------------------
+
+WorkloadResult
+runWorkloadRecoverable(const ExperimentConfig &cfg,
+                       const wkl::WorkloadProfile &profile)
+{
+    const snap::CheckpointPolicy &p = cfg.checkpoint;
+    const std::string tid = snap::taskId(profile.name, profile.seed);
+
+    if (p.enabled() && p.resume) {
+        const std::string done = snap::resultPath(p.dir, tid);
+        std::error_code ec;
+        if (std::filesystem::exists(done, ec))
+            return loadResultFile(done, sim::configHash(cfg, profile));
+    }
+
+    uint32_t attempt = 0;
+    for (;;) {
+        try {
+            WorkloadRun run(cfg, profile, attempt);
+            std::string ckpt;
+            if (p.enabled() && (attempt > 0 || p.resume))
+                ckpt = snap::latestCheckpoint(p.dir, tid);
+            if (!ckpt.empty())
+                run.restore(ckpt);
+            WorkloadResult r = run.run();
+            if (p.enabled()) {
+                saveResultFile(snap::resultPath(p.dir, tid), r,
+                               run.configHash());
+                snap::appendManifest(
+                    p.dir, tid + ": complete (attempts " +
+                               std::to_string(r.attempts) + ")");
+            }
+            return r;
+        } catch (const WatchdogError &e) {
+            // Only watchdog trips retry: they are the nondeterministic
+            // failure class (wall-clock cancellation, livelock, the
+            // chaos knob). Deterministic SimErrors would fail the same
+            // way again and propagate immediately.
+            if (!p.enabled() || attempt >= p.maxRetries) {
+                if (p.enabled())
+                    snap::appendManifest(
+                        p.dir, tid + ": failed after " +
+                                   std::to_string(attempt + 1) +
+                                   " attempt(s)");
+                throw;
+            }
+            warn("workload '%s' attempt %u tripped the watchdog; "
+                 "retrying from the newest checkpoint: %s",
+                 profile.name.c_str(), attempt, e.what());
+            snap::appendManifest(p.dir,
+                                 tid + ": attempt " +
+                                     std::to_string(attempt) +
+                                     " tripped the watchdog; retrying");
+            if (p.retryBackoffMs) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<uint64_t>(p.retryBackoffMs) << attempt));
+            }
+            ++attempt;
+        }
+    }
+}
+
+} // namespace upc780::sim

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hh"
+#include "common/serial.hh"
 
 namespace upc780::sim
 {
@@ -26,6 +27,7 @@ Watchdog::cycle(ucode::UAddr upc, bool stalled)
         ++stallRun_;
     } else {
         stallRun_ = 0;
+        lastCommittedUpc_ = upc;
         if (upc == img_.marks.decode) {
             ++decodes_;
             cyclesAtLastDecode_ = cycles_;
@@ -57,7 +59,15 @@ Watchdog::diagnostic() const
        << "  current upc:          0x" << std::hex << last.upc
        << std::dec << " (" << ucode::rowName(img_.rowOf(last.upc))
        << (last.stalled ? ", stalled" : "") << ")\n"
-       << "  trailing upc trace (oldest first):\n";
+       << "  last committed upc:   0x" << std::hex << lastCommittedUpc_
+       << std::dec << " ("
+       << ucode::rowName(img_.rowOf(lastCommittedUpc_)) << ")\n";
+    if (checkpointCycle_ == NoCheckpoint)
+        os << "  nearest checkpoint:   none\n";
+    else
+        os << "  nearest checkpoint:   cycle " << checkpointCycle_
+           << "\n";
+    os << "  trailing upc trace (oldest first):\n";
 
     uint32_t n = cycles_ < TraceDepth ? static_cast<uint32_t>(cycles_)
                                       : TraceDepth;
@@ -69,6 +79,40 @@ Watchdog::diagnostic() const
            << (s.stalled ? "  [stall]" : "") << "\n";
     }
     return os.str();
+}
+
+void
+Watchdog::serialize(ByteWriter &w) const
+{
+    w.u64(cycles_);
+    w.u64(decodes_);
+    w.u64(cyclesAtLastDecode_);
+    w.u64(stallRun_);
+    w.u16(lastCommittedUpc_);
+    for (const Sample &s : trace_) {
+        w.u16(s.upc);
+        w.b(s.stalled);
+    }
+    w.u32(traceHead_);
+}
+
+void
+Watchdog::deserialize(ByteReader &r)
+{
+    cycles_ = r.u64();
+    decodes_ = r.u64();
+    cyclesAtLastDecode_ = r.u64();
+    stallRun_ = r.u64();
+    lastCommittedUpc_ = r.u16();
+    for (Sample &s : trace_) {
+        s.upc = r.u16();
+        s.stalled = r.b();
+    }
+    traceHead_ = r.u32();
+    if (traceHead_ >= TraceDepth)
+        sim_throw(SnapshotError,
+                  "snapshot watchdog trace head %u out of range",
+                  traceHead_);
 }
 
 } // namespace upc780::sim

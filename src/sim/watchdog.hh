@@ -21,6 +21,12 @@
 #include "cpu/vax780.hh"
 #include "ucode/controlstore.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::sim
 {
 
@@ -61,12 +67,30 @@ class Watchdog : public cpu::CycleProbe
     /** Instruction decodes observed so far. */
     uint64_t decodes() const { return decodes_; }
 
+    /** Last non-stalled control-store address committed. */
+    ucode::UAddr lastCommittedUpc() const { return lastCommittedUpc_; }
+
+    /**
+     * Record that a checkpoint exists at machine cycle @p cycle, so a
+     * trip's diagnostic can tell the operator where a retry would
+     * resume from.
+     */
+    void noteCheckpoint(uint64_t cycle) { checkpointCycle_ = cycle; }
+
+    /** Nearest (latest) known checkpoint cycle; NoCheckpoint if none. */
+    static constexpr uint64_t NoCheckpoint = ~uint64_t{0};
+    uint64_t nearestCheckpointCycle() const { return checkpointCycle_; }
+
     /**
      * Multi-line diagnostic dump of the wedged machine: progress
      * counters, stall state, and the trailing control-store trace with
      * activity-row labels.
      */
     std::string diagnostic() const;
+
+    /** Checkpoint progress counters and the diagnostic trace ring. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     struct Sample
@@ -83,9 +107,13 @@ class Watchdog : public cpu::CycleProbe
     uint64_t decodes_ = 0;
     uint64_t cyclesAtLastDecode_ = 0;
     uint64_t stallRun_ = 0;
+    ucode::UAddr lastCommittedUpc_ = 0;
 
     std::array<Sample, TraceDepth> trace_{};
     uint32_t traceHead_ = 0;
+
+    /** Runtime bookkeeping from the harness, not serialized. */
+    uint64_t checkpointCycle_ = NoCheckpoint;
 };
 
 } // namespace upc780::sim

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/serial.hh"
+
 namespace upc780::upc
 {
 
@@ -76,6 +78,42 @@ Histogram::loadFrom(const std::string &path)
     }
     std::fclose(f);
     return true;
+}
+
+void
+Histogram::serialize(ByteWriter &w) const
+{
+    uint32_t nonzero = 0;
+    for (uint32_t a = 0; a < NumBuckets; ++a)
+        if (counts_[a] || stalls_[a])
+            ++nonzero;
+    w.u32(nonzero);
+    for (uint32_t a = 0; a < NumBuckets; ++a) {
+        if (counts_[a] || stalls_[a]) {
+            w.u32(a);
+            w.u64(counts_[a]);
+            w.u64(stalls_[a]);
+        }
+    }
+}
+
+void
+Histogram::deserialize(ByteReader &r)
+{
+    clear();
+    const uint32_t nonzero = r.u32();
+    if (nonzero > NumBuckets)
+        sim_throw(SnapshotError,
+                  "snapshot histogram claims %u nonzero buckets of %u",
+                  nonzero, NumBuckets);
+    for (uint32_t i = 0; i < nonzero; ++i) {
+        uint32_t a = r.u32();
+        if (a >= NumBuckets)
+            sim_throw(SnapshotError,
+                      "snapshot histogram bucket %u out of range", a);
+        counts_[a] = r.u64();
+        stalls_[a] = r.u64();
+    }
 }
 
 } // namespace upc780::upc

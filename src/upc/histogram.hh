@@ -14,6 +14,12 @@
 
 #include "ucode/uop.hh"
 
+namespace upc780
+{
+class ByteWriter;
+class ByteReader;
+}
+
 namespace upc780::upc
 {
 
@@ -72,6 +78,14 @@ class Histogram
      */
     bool saveTo(const std::string &path) const;
     bool loadFrom(const std::string &path);
+
+    /**
+     * Checkpoint the histogram memory, sparsely: only nonzero buckets
+     * are written (addr, count, stalls), since most of the 16 K
+     * control store is never executed by a given workload.
+     */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 
   private:
     std::array<uint64_t, NumBuckets> counts_{};

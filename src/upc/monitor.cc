@@ -1,5 +1,6 @@
 #include "upc/monitor.hh"
 
+#include "common/serial.hh"
 #include "obs/counters.hh"
 
 namespace upc780::upc
@@ -43,6 +44,24 @@ UpcMonitor::readDataPort(bool stall_bank) const
     ucode::UAddr a = static_cast<ucode::UAddr>(
         addrPort_ % Histogram::NumBuckets);
     return stall_bank ? histogram_.stall(a) : histogram_.count(a);
+}
+
+void
+UpcMonitor::serialize(ByteWriter &w) const
+{
+    histogram_.serialize(w);
+    w.b(running_);
+    w.u64(observed_);
+    w.u16(addrPort_);
+}
+
+void
+UpcMonitor::deserialize(ByteReader &r)
+{
+    histogram_.deserialize(r);
+    running_ = r.b();
+    observed_ = r.u64();
+    addrPort_ = r.u16();
 }
 
 } // namespace upc780::upc

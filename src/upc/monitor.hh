@@ -66,6 +66,10 @@ class UpcMonitor : public cpu::CycleProbe
     /** Read the selected bucket (lo longword = count, hi = stalls). */
     uint64_t readDataPort(bool stall_bank) const;
 
+    /** Checkpoint histogram memory + board registers. */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+
   private:
     Histogram histogram_;
     bool running_ = false;

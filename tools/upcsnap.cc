@@ -1,0 +1,145 @@
+/**
+ * @file
+ * upcsnap — inspect snapshot files (checkpoints and persisted
+ * results) without booting a machine.
+ *
+ *   upcsnap info FILE...        meta block + section table per file
+ *   upcsnap verify FILE...      integrity check only (magic, version,
+ *                               CRC, structure); exit 1 on any failure
+ *   upcsnap result FILE         summarize a `.result` snapshot
+ *
+ * Exit status 2 on usage errors, 1 when a file is rejected.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hh"
+#include "sim/run.hh"
+#include "snap/snapshot.hh"
+
+using namespace upc780;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: upcsnap info|verify FILE...\n"
+                         "       upcsnap result FILE\n");
+    return 2;
+}
+
+const char *
+kindName(snap::SnapshotKind k)
+{
+    switch (k) {
+      case snap::SnapshotKind::Checkpoint:
+        return "checkpoint";
+      case snap::SnapshotKind::Result:
+        return "result";
+      default:
+        return "?";
+    }
+}
+
+void
+printInfo(const std::string &path, const snap::SnapshotReader &snap)
+{
+    const snap::SnapshotMeta &m = snap.meta();
+    std::printf("%s:\n", path.c_str());
+    std::printf("  kind:          %s\n", kindName(m.kind));
+    std::printf("  workload:      %s\n", m.workload.c_str());
+    std::printf("  config hash:   %016llx\n",
+                static_cast<unsigned long long>(m.configHash));
+    std::printf("  cycle:         %llu\n",
+                static_cast<unsigned long long>(m.cycle));
+    std::printf("  instructions:  %llu\n",
+                static_cast<unsigned long long>(m.instructions));
+    std::printf("  attempt:       %u\n", m.attempt);
+    std::printf("  sections:\n");
+    for (const std::string &name : snap.names()) {
+        ByteReader r = snap.open(name);
+        std::printf("    %-10s %10zu bytes\n", name.c_str(),
+                    r.remaining());
+    }
+}
+
+void
+printResult(const std::string &path, const snap::SnapshotReader &snap)
+{
+    sim::WorkloadResult r;
+    ByteReader br = snap.open("result");
+    r.deserialize(br);
+    br.expectEnd("result");
+
+    std::printf("%s:\n", path.c_str());
+    std::printf("  workload:        %s\n", r.name.c_str());
+    std::printf("  ok:              %s\n", r.ok ? "yes" : "no");
+    if (!r.ok)
+        std::printf("  error:           %s\n", r.error.c_str());
+    std::printf("  measured cycles: %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  attempts:        %u\n", r.attempts);
+    if (r.resumedFromCycle)
+        std::printf("  resumed from:    cycle %llu\n",
+                    static_cast<unsigned long long>(r.resumedFromCycle));
+    std::printf("  context switches: %llu  syscalls: %llu\n",
+                static_cast<unsigned long long>(
+                    r.osStats.contextSwitches),
+                static_cast<unsigned long long>(r.osStats.syscalls));
+    std::printf("  faults injected:  %llu (%llu uncorrectable)\n",
+                static_cast<unsigned long long>(r.faultStats.total()),
+                static_cast<unsigned long long>(
+                    r.faultStats.uncorrectable()));
+    std::printf("  trace events:     %zu\n", r.trace.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd != "info" && cmd != "verify" && cmd != "result")
+        return usage();
+    if (cmd == "result" && argc != 3)
+        return usage();
+
+    int failures = 0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string path = argv[i];
+        try {
+            snap::SnapshotReader snap =
+                snap::SnapshotReader::fromFile(path);
+            if (cmd == "info") {
+                printInfo(path, snap);
+            } else if (cmd == "verify") {
+                std::printf("%s: ok (%s, workload '%s', cycle %llu)\n",
+                            path.c_str(), kindName(snap.meta().kind),
+                            snap.meta().workload.c_str(),
+                            static_cast<unsigned long long>(
+                                snap.meta().cycle));
+            } else {
+                if (snap.meta().kind != snap::SnapshotKind::Result) {
+                    std::fprintf(stderr,
+                                 "upcsnap: %s is a %s snapshot, not a "
+                                 "result\n", path.c_str(),
+                                 kindName(snap.meta().kind));
+                    ++failures;
+                    continue;
+                }
+                printResult(path, snap);
+            }
+        } catch (const SnapshotError &e) {
+            std::fprintf(stderr, "upcsnap: %s: %s\n", path.c_str(),
+                         e.what());
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
+}

@@ -1,0 +1,20 @@
+# Smoke test for the upcsnap CLI: a non-snapshot file must be rejected
+# with a diagnostic and a nonzero exit, never a crash.
+file(WRITE "${WORK_DIR}/not_a_snapshot.bin" "this is not a snapshot")
+execute_process(COMMAND "${UPCSNAP}" verify
+                        "${WORK_DIR}/not_a_snapshot.bin"
+                RESULT_VARIABLE rc
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "expected exit 1 for a garbage file, got ${rc}")
+endif()
+if(NOT err MATCHES "not a snapshot")
+    message(FATAL_ERROR "expected a 'not a snapshot' diagnostic: ${err}")
+endif()
+
+# Usage errors exit 2.
+execute_process(COMMAND "${UPCSNAP}" RESULT_VARIABLE rc2
+                ERROR_QUIET)
+if(NOT rc2 EQUAL 2)
+    message(FATAL_ERROR "expected exit 2 for missing args, got ${rc2}")
+endif()
