@@ -11,10 +11,12 @@
  * by the slowest single workload (the engine cannot split one
  * measurement interval). On fewer cores the bound is min(cores, 5).
  *
- * Also measures what the snapshot layer costs: the same single
- * workload with and without periodic checkpoints (which must not
- * perturb the histogram), and the wall-clock of restoring the newest
- * checkpoint.
+ * Also measures what the harness's safety nets cost: the post-run
+ * attribution audit on vs off (one pass over a fixed-size histogram
+ * per workload — target < 1% on a clean image), and the snapshot
+ * layer: the same single workload with and without periodic
+ * checkpoints (which must not perturb the histogram), plus the
+ * wall-clock of restoring the newest checkpoint.
  *
  * Environment knobs (shared with the table benches):
  *   UPC780_INSTR   - measured instructions per workload (default 40k)
@@ -157,6 +159,26 @@ main()
                 100.0 * (wall_on / wall_off - 1.0),
                 obs_same ? "yes" : "NO");
 
+    // Attribution audit: the same composite with the post-run
+    // static<->dynamic cross-check on vs off. The audit runs once per
+    // workload over a fixed-size histogram, so on a clean image its
+    // cost must vanish against the simulation (target < 1%; reported,
+    // not gated) and must never touch the measurement itself.
+    sim::ExperimentConfig audit_on = cfg;
+    audit_on.auditAttribution = true;
+    sim::ExperimentConfig audit_off = cfg;
+    audit_off.auditAttribution = false;
+    sim::CompositeResult caon, caoff;
+    const double wall_audit_off = runOnce(audit_off, 1, caoff);
+    const double wall_audit_on = runOnce(audit_on, 1, caon);
+    const bool audit_same = caon.histogram == caoff.histogram;
+    all_identical = all_identical && audit_same;
+    std::printf("\nattribution audit: off %.3f s, on %.3f s (%+.1f%% "
+                "overhead), histograms identical: %s\n",
+                wall_audit_off, wall_audit_on,
+                100.0 * (wall_audit_on / wall_audit_off - 1.0),
+                audit_same ? "yes" : "NO");
+
     // Checkpoint machinery: one timesharing-1 workload plain vs with
     // periodic snapshots. Saving must not perturb the measurement
     // (identical histogram), and both directions should be cheap
@@ -224,11 +246,15 @@ main()
                      "\n  ],\n"
                      "  \"obs_overhead\": {\"off_s\": %.6f, \"on_s\": "
                      "%.6f, \"identical\": %s},\n"
+                     "  \"audit_overhead\": {\"off_s\": %.6f, "
+                     "\"on_s\": %.6f, \"identical\": %s},\n"
                      "  \"checkpoint\": {\"plain_s\": %.6f, "
                      "\"checkpointed_s\": %.6f, \"snapshots\": %zu, "
                      "\"restore_s\": %.6f, \"identical\": %s},\n"
                      "  \"all_identical\": %s\n}\n",
                      wall_off, wall_on, obs_same ? "true" : "false",
+                     wall_audit_off, wall_audit_on,
+                     audit_same ? "true" : "false",
                      wall_plain, wall_ckpt, saved, wall_restore,
                      ck_same ? "true" : "false",
                      all_identical ? "true" : "false");

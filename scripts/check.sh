@@ -8,8 +8,9 @@
 # workers, must reproduce the uninterrupted report byte for byte),
 # emit the perf-trajectory figures (BENCH_simspeed.json,
 # BENCH_parallel.json), then rebuild with AddressSanitizer for the
-# fault/lint/snap tests and — when the toolchain supports it — with
-# ThreadSanitizer for the parallel-labeled tests.
+# fault/lint/snap tests, with UBSan for the lint/snap tests, and —
+# when the toolchain supports it — with ThreadSanitizer for the
+# parallel-labeled tests.
 #
 #   scripts/check.sh [build-dir]          (default: build-check)
 #
@@ -36,6 +37,23 @@ ctest --test-dir "$BUILD" --output-on-failure
 echo "== ulint =="
 "$BUILD/tools/ulint" --report
 "$BUILD/tools/ulint" --no-fpa --quiet
+# The machine-readable outputs must stay valid JSON: CI annotation
+# (SARIF) and the static attribution matrix the runtime audit mirrors.
+if command -v python3 >/dev/null 2>&1
+then
+    "$BUILD/tools/ulint" --sarif | python3 -m json.tool > /dev/null
+    "$BUILD/tools/ulint" --json | python3 -m json.tool > /dev/null
+    "$BUILD/tools/ulint" --attribution | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m["rows"], "empty attribution matrix"
+assert m["reachableWords"] > 0
+'
+    echo "sarif/json/attribution outputs are well-formed"
+else
+    "$BUILD/tools/ulint" --sarif > /dev/null
+    "$BUILD/tools/ulint" --attribution > /dev/null
+fi
 
 echo "== parallel + golden labels =="
 ctest --test-dir "$BUILD" -L "parallel|golden" --output-on-failure
@@ -99,6 +117,13 @@ cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
 ctest --test-dir "$BUILD-asan" -L "faults|lint|snap" --output-on-failure
+
+echo "== ubsan build (lint + snap tests) =="
+cmake -S . -B "$BUILD-ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUPC780_SANITIZE=undefined
+cmake --build "$BUILD-ubsan" -j "$JOBS"
+UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD-ubsan" -L "lint|snap" --output-on-failure
 
 if echo 'int main(){return 0;}' | \
     c++ -fsanitize=thread -x c++ - -o "$BUILD/tsan-probe" 2>/dev/null

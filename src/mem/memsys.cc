@@ -62,9 +62,10 @@ MemorySubsystem::read(PAddr pa, uint32_t size, uint64_t now)
                                      false, r.miss);
         }
     }
-    if (r.unaligned)
+    if (r.unaligned) {
         ++unaligned_;
         obs::count(obs::Ev::MemUnalignedRefs);
+    }
     r.data = memory_.read(pa, size);
     return r;
 }
@@ -93,9 +94,10 @@ MemorySubsystem::write(PAddr pa, uint32_t size, uint64_t data,
         cache_.writeAccess(first + 4 * i);
     }
 
-    if (r.unaligned)
+    if (r.unaligned) {
         ++unaligned_;
         obs::count(obs::Ev::MemUnalignedRefs);
+    }
     memory_.write(pa, size, data);
     return r;
 }

@@ -173,6 +173,19 @@ struct ExperimentConfig
     bool lintMicrocode = true;
 
     /**
+     * Verify after each workload that the measurement landed inside
+     * the statically-allowed attribution sets (AuditError otherwise):
+     * every histogram bucket with cycles must be an allocated,
+     * reachable, unambiguously-classed word; stall cycles may only
+     * accrue at words with a memory function; and each obs counter
+     * total must equal the sum the per-word effect map predicts for
+     * it (see ulint::EffectMap and sim::auditAttribution). Skipped
+     * when the lint report is dirty — the flagged-address audit
+     * already refuses those runs with the more specific diagnosis.
+     */
+    bool auditAttribution = true;
+
+    /**
      * Checkpoint/retry/resume policy (see snap/snapshot.hh). Disabled
      * by default (empty directory); when enabled, runs write periodic
      * machine-state checkpoints, watchdog trips retry from the newest

@@ -1,6 +1,7 @@
 #include "sim/run.hh"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <filesystem>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/serial.hh"
 #include "ucode/controlstore.hh"
+#include "ulint/effects.hh"
 #include "workload/codegen.hh"
 
 namespace upc780::sim
@@ -152,8 +154,115 @@ configHash(const ExperimentConfig &cfg, const wkl::WorkloadProfile &p)
     w.u64(cfg.watchdogIntervalCycles);
     w.b(cfg.auditCycleAccounting);
     w.b(cfg.lintMicrocode);
+    w.b(cfg.auditAttribution);
 
     return snap::fnv1a(w.data());
+}
+
+void
+auditAttribution(const ucode::MicrocodeImage &img,
+                 const upc::Histogram &hist,
+                 const obs::Snapshot &counters, bool countersEnabled,
+                 const std::string &workload)
+{
+    using ulint::CycleClass;
+    const ulint::MicroCfg cfg(img);
+    const ulint::EffectMap fx(img);
+
+    // ---- histogram membership: every bucket holding cycles must be
+    // an allocated, reachable, rowed word with exactly one cycle
+    // class, and stall cycles may only accrue where the word has a
+    // memory function to stall on.
+    std::array<uint64_t, size_t(CycleClass::NumClasses)> classCount{};
+    uint64_t decodeCount = 0;
+    for (uint32_t a = 0; a < upc::Histogram::NumBuckets; ++a) {
+        const uint64_t c = hist.count(ucode::UAddr(a));
+        const uint64_t s = hist.stall(ucode::UAddr(a));
+        if (c == 0 && s == 0)
+            continue;
+        if (a == 0 || a >= img.allocated) {
+            sim_throw(AuditError,
+                      "workload '%s': histogram holds %llu cycles at "
+                      "0x%04x, outside the allocated control store",
+                      workload.c_str(),
+                      static_cast<unsigned long long>(c + s), a);
+        }
+        const ucode::UAddr ua = ucode::UAddr(a);
+        if (!cfg.reachable(ua)) {
+            sim_throw(AuditError,
+                      "workload '%s': histogram holds %llu cycles at "
+                      "0x%04x, which is statically unreachable from "
+                      "uDECODE", workload.c_str(),
+                      static_cast<unsigned long long>(c + s), a);
+        }
+        const ulint::WordEffects &w = fx.at(ua);
+        int ncand = 0;
+        for (size_t cc = 0; cc < size_t(CycleClass::NumClasses); ++cc)
+            if (w.candidates & ulint::classBit(CycleClass(cc)))
+                ++ncand;
+        if (img.rowOf(ua) == ucode::Row::None || ncand != 1 ||
+            !(ulint::classBit(w.cls) &
+              ulint::EffectMap::allowedClasses(img.rowOf(ua)))) {
+            sim_throw(AuditError,
+                      "workload '%s': histogram attributes %llu cycles "
+                      "to 0x%04x, whose row/class mapping is not "
+                      "well-formed (row %s, class %s)", workload.c_str(),
+                      static_cast<unsigned long long>(c + s), a,
+                      std::string(ucode::rowName(img.rowOf(ua))).c_str(),
+                      std::string(
+                          ulint::cycleClassName(w.cls)).c_str());
+        }
+        if (s != 0 && !w.canStall) {
+            sim_throw(AuditError,
+                      "workload '%s': histogram holds %llu stall "
+                      "cycles at 0x%04x, a word with no memory "
+                      "function to stall on", workload.c_str(),
+                      static_cast<unsigned long long>(s), a);
+        }
+        classCount[size_t(w.cls)] += c;
+        if (w.counters & ulint::counterBit(obs::Ev::IboxDecodes))
+            decodeCount += c;
+    }
+
+    // ---- counter equalities: each obs total must equal the count the
+    // static matrix predicts from the histogram. The dispatch-entry
+    // counters use landmark identities (their masks over-approximate).
+    if (!countersEnabled)
+        return;
+    auto cls = [&](CycleClass c) { return classCount[size_t(c)]; };
+    struct Check
+    {
+        obs::Ev ev;
+        uint64_t expect;
+    };
+    const Check checks[] = {
+        {obs::Ev::EboxUops, cls(CycleClass::Compute) +
+                                cls(CycleClass::Read) +
+                                cls(CycleClass::Write)},
+        {obs::Ev::IboxDecodes, decodeCount},
+        {obs::Ev::EboxMemReadCycles, cls(CycleClass::Read)},
+        {obs::Ev::EboxMemWriteCycles, cls(CycleClass::Write)},
+        {obs::Ev::EboxIbStallCycles, cls(CycleClass::IbStall)},
+        {obs::Ev::EboxAborts, cls(CycleClass::Abort)},
+        {obs::Ev::EboxHaltCycles, cls(CycleClass::Halt)},
+        {obs::Ev::EboxStallCycles, hist.totalStalls()},
+        {obs::Ev::TbMissServicesD, hist.count(img.marks.tbMissD)},
+        {obs::Ev::TbMissServicesI, hist.count(img.marks.tbMissI)},
+        {obs::Ev::IrqDispatches, hist.count(img.marks.intDispatch)},
+        {obs::Ev::MachineChecks, hist.count(img.marks.machineCheck)},
+    };
+    for (const Check &k : checks) {
+        if (counters.value(k.ev) != k.expect) {
+            sim_throw(AuditError,
+                      "workload '%s': counter %s is %llu, but the "
+                      "static attribution matrix allows exactly %llu "
+                      "from this histogram", workload.c_str(),
+                      std::string(obs::evName(k.ev)).c_str(),
+                      static_cast<unsigned long long>(
+                          counters.value(k.ev)),
+                      static_cast<unsigned long long>(k.expect));
+        }
+    }
 }
 
 WorkloadRun::WorkloadRun(const ExperimentConfig &cfg,
@@ -623,6 +732,12 @@ WorkloadRun::run()
                       static_cast<unsigned long long>(touched_cycles),
                       rules.c_str());
         }
+    }
+
+    if (cfg_.auditAttribution && lintReport_.clean()) {
+        auditAttribution(machine_->microcode(), r.histogram, r.obs,
+                         bool(UPC780_OBS_ENABLED) && cfg_.obs.counters,
+                         profile_.name);
     }
     return r;
 }

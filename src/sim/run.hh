@@ -53,6 +53,22 @@ namespace upc780::sim
 uint64_t configHash(const ExperimentConfig &cfg,
                     const wkl::WorkloadProfile &profile);
 
+/**
+ * The static↔dynamic attribution cross-check: hold one run's histogram
+ * and counter totals to the attribution matrix derived from @p image
+ * alone (ulint::EffectMap). Throws AuditError naming @p workload when
+ * any histogram bucket or counter total lands outside its
+ * statically-allowed set. Counter equalities are only checked when
+ * @p countersEnabled (the obs fabric was live for the run); the
+ * histogram membership checks always run. Exposed as a free function
+ * so tests can refute deliberately perturbed measurements without
+ * driving a whole run.
+ */
+void auditAttribution(const ucode::MicrocodeImage &image,
+                      const upc::Histogram &histogram,
+                      const obs::Snapshot &counters, bool countersEnabled,
+                      const std::string &workload);
+
 /** A single workload measurement, checkpointable and resumable. */
 class WorkloadRun
 {

@@ -1,0 +1,128 @@
+#include "ulint/dataflow.hh"
+
+#include <deque>
+
+namespace upc780::ulint
+{
+
+std::vector<std::vector<UAddr>>
+predecessors(const std::vector<std::vector<UAddr>> &succ)
+{
+    std::vector<std::vector<UAddr>> pred(succ.size());
+    for (UAddr a = 0; a < succ.size(); ++a)
+        for (UAddr t : succ[a])
+            if (t < pred.size())
+                pred[t].push_back(a);
+    return pred;
+}
+
+Solution
+solve(const std::vector<std::vector<UAddr>> &succ, const Problem &p,
+      uint32_t maxSteps)
+{
+    const size_t n = succ.size();
+    Solution s;
+    s.in.assign(n, p.top);
+    s.out.assign(n, p.top);
+    if (n == 0) {
+        s.converged = true;
+        return s;
+    }
+
+    // Facts flow along edges in `dir`; the meet at a node draws from
+    // its flow-predecessors, and a change re-queues its
+    // flow-successors.
+    const bool fwd = p.dir == Direction::Forward;
+    const std::vector<std::vector<UAddr>> pred = predecessors(succ);
+    const auto &meet_from = fwd ? pred : succ;
+    const auto &requeue = fwd ? succ : pred;
+
+    std::vector<RegMask> bmask(n, 0);
+    std::vector<bool> hasb(n, false);
+    for (const auto &[a, m] : p.boundaries) {
+        if (a < n) {
+            bmask[a] = hasb[a] ? (p.meet == Meet::Union ? bmask[a] | m
+                                                        : bmask[a] & m)
+                               : m;
+            hasb[a] = true;
+        }
+    }
+
+    uint64_t edges = 0;
+    for (const auto &v : succ)
+        edges += v.size();
+    // Monotone transfers over a finite lattice: every node's value can
+    // change at most NumMRegs + 1 times, and each change re-queues at
+    // most its degree. The cap only exists to turn a (buggy)
+    // non-monotone configuration into a reported non-convergence
+    // instead of a hang.
+    const uint64_t bound =
+        (edges + n + 1) * (NumMRegs + 2) + n;
+    const uint64_t cap =
+        maxSteps ? maxSteps : bound;
+
+    std::deque<UAddr> work;
+    std::vector<bool> queued(n, false);
+    if (fwd) {
+        for (UAddr a = 0; a < n; ++a) {
+            work.push_back(a);
+            queued[a] = true;
+        }
+    } else {
+        for (size_t i = n; i-- > 0;) {
+            work.push_back(UAddr(i));
+            queued[i] = true;
+        }
+    }
+
+    // For a forward problem `in` is the meet side and `out` the
+    // transfer side; a backward problem swaps the roles, so alias
+    // them here and the loop body reads identically for both.
+    std::vector<RegMask> &meet_side = fwd ? s.in : s.out;
+    std::vector<RegMask> &xfer_side = fwd ? s.out : s.in;
+
+    while (!work.empty()) {
+        if (s.steps >= cap)
+            return s;  // converged stays false
+        const UAddr a = work.front();
+        work.pop_front();
+        queued[a] = false;
+
+        RegMask m = p.meet == Meet::Union ? 0 : p.top;
+        for (UAddr q : meet_from[a]) {
+            m = p.meet == Meet::Union ? (m | xfer_side[q])
+                                      : (m & xfer_side[q]);
+        }
+        if (hasb[a])
+            m = p.meet == Meet::Union ? (m | bmask[a]) : (m & bmask[a]);
+        meet_side[a] = m;
+
+        const RegMask gen = a < p.gen.size() ? p.gen[a] : 0;
+        const RegMask kill = a < p.kill.size() ? p.kill[a] : 0;
+        const RegMask o = gen | (m & ~kill);
+        ++s.steps;
+        if (o == xfer_side[a])
+            continue;
+        xfer_side[a] = o;
+        for (UAddr q : requeue[a]) {
+            if (!queued[q]) {
+                queued[q] = true;
+                work.push_back(q);
+            }
+        }
+    }
+    s.converged = true;
+    return s;
+}
+
+Solution
+solve(const MicroCfg &cfg, const Problem &p, uint32_t maxSteps)
+{
+    const uint32_t n = cfg.image().allocated;
+    std::vector<std::vector<UAddr>> succ(n);
+    for (UAddr a = 0; a < n; ++a)
+        succ[a] = cfg.successors(a);
+    return solve(succ, p, maxSteps);
+}
+
+} // namespace upc780::ulint

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A small bitmask dataflow framework over the microprogram CFG.
+ *
+ * The linter's structural rules (UL001-UL009) prove properties of the
+ * graph shape; the dataflow rules (UL010+) need properties of what
+ * flows *along* it — which micro-register definitions reach which
+ * uses, and which writes are dead on every path. This is the classic
+ * iterative worklist formulation: a lattice of bitmasks over the
+ * abstract micro-registers (effects.hh), per-word gen/kill transfer
+ * functions, union or intersection meet, forward or backward
+ * direction. The transfer functions are monotone and the lattice has
+ * finite height (NumMRegs bits per word), so the fixpoint exists and
+ * the worklist terminates in at most nodes x bits re-evaluations —
+ * a bound the convergence tests assert.
+ *
+ * The solver is deliberately generic over an adjacency list rather
+ * than hard-wired to MicroCfg::successors: the UL011 reaching-
+ * definitions analysis runs over a *sequential* sub-CFG (dispatch
+ * edges cut, entry contracts injected as boundary facts), because the
+ * full CFG's dispatch over-approximation — every SpecDispatch word
+ * reaching every routine entry — would otherwise leak definitions
+ * between routines along paths the I-Decode hardware never selects.
+ */
+
+#ifndef UPC780_ULINT_DATAFLOW_HH
+#define UPC780_ULINT_DATAFLOW_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ulint/cfg.hh"
+#include "ulint/effects.hh"
+
+namespace upc780::ulint
+{
+
+/** Analysis direction. */
+enum class Direction : uint8_t
+{
+    Forward,   //!< facts flow from predecessors (reaching defs)
+    Backward,  //!< facts flow from successors (liveness)
+};
+
+/** Meet operator at control-flow joins. */
+enum class Meet : uint8_t
+{
+    Union,      //!< may-analysis: true on some path
+    Intersect,  //!< must-analysis: true on every path
+};
+
+/** One dataflow problem over a CFG of `size` words. */
+struct Problem
+{
+    Direction dir = Direction::Forward;
+    Meet meet = Meet::Union;
+
+    /**
+     * The lattice top: initial value of every node's meet-side set.
+     * 0 for union problems, AllRegs (typically) for intersection
+     * problems, where an unvisited node must stay vacuously true.
+     */
+    RegMask top = 0;
+
+    /** Per-address transfer: out = gen | (in & ~kill). Size = words. */
+    std::vector<RegMask> gen;
+    std::vector<RegMask> kill;
+
+    /**
+     * Boundary facts: the meet-side value at these nodes additionally
+     * meets the given mask (union: |=, intersection: &=). For a
+     * forward problem these are entry nodes (uDECODE starts with
+     * nothing defined: mask 0 under Intersect); for a backward
+     * problem, exit nodes.
+     */
+    std::vector<std::pair<UAddr, RegMask>> boundaries;
+};
+
+/** A solved problem. */
+struct Solution
+{
+    /** Dataflow value at each word's entry (in program order). */
+    std::vector<RegMask> in;
+    /** Dataflow value at each word's exit. */
+    std::vector<RegMask> out;
+    /** Transfer-function evaluations until the fixpoint. */
+    uint32_t steps = 0;
+    /** False when the step limit cut iteration short (never expected). */
+    bool converged = false;
+};
+
+/**
+ * Iterate @p p to fixpoint over @p succ (successor lists indexed by
+ * address; predecessor lists are derived internally for forward
+ * problems). @p maxSteps of 0 derives the monotonicity bound
+ * (nodes x (bits + 1) evaluations) automatically.
+ */
+Solution solve(const std::vector<std::vector<UAddr>> &succ,
+               const Problem &p, uint32_t maxSteps = 0);
+
+/** Convenience: run over a MicroCfg's full successor relation. */
+Solution solve(const MicroCfg &cfg, const Problem &p,
+               uint32_t maxSteps = 0);
+
+/** Invert a successor relation (exposed for the dataflow tests). */
+std::vector<std::vector<UAddr>>
+predecessors(const std::vector<std::vector<UAddr>> &succ);
+
+} // namespace upc780::ulint
+
+#endif // UPC780_ULINT_DATAFLOW_HH

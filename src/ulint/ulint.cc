@@ -8,6 +8,8 @@
 
 #include "arch/opcodes.hh"
 #include "arch/specifier.hh"
+#include "ulint/dataflow.hh"
+#include "ulint/effects.hh"
 
 namespace upc780::ulint
 {
@@ -140,7 +142,10 @@ specClassFor(SpecMode m)
 class Linter
 {
   public:
-    explicit Linter(const MicrocodeImage &img) : img_(img), cfg_(img) {}
+    explicit Linter(const MicrocodeImage &img)
+        : img_(img), cfg_(img), fx_(img)
+    {
+    }
 
     Report
     run()
@@ -156,6 +161,10 @@ class Linter
         checkIbStallWords();       // UL006
         checkAnnotationKeys();     // UL007, UL008
         checkTakenEntries();       // UL007
+        checkCycleClasses();       // UL013
+        checkCounterEffects();     // UL014, UL015
+        checkDataflow();           // UL010, UL011
+        checkCutReachability();    // UL012 (last: consumes the rest)
         return std::move(rep_);
     }
 
@@ -218,6 +227,10 @@ class Linter
     void checkIbStallWords();
     void checkAnnotationKeys();
     void checkTakenEntries();
+    void checkCycleClasses();
+    void checkCounterEffects();
+    void checkDataflow();
+    void checkCutReachability();
 
     /** Check one spec-routine entry against its annotation. */
     void specEntryNote(UAddr a, bool first, bool indexed,
@@ -225,6 +238,7 @@ class Linter
 
     const MicrocodeImage &img_;
     MicroCfg cfg_;
+    EffectMap fx_;
     Report rep_;
 };
 
@@ -659,6 +673,313 @@ Linter::checkTakenEntries()
     }
 }
 
+namespace
+{
+
+/** "compute/read" style list of the classes in @p m. */
+std::string
+classList(ClassMask m)
+{
+    std::string s;
+    for (size_t c = 0; c < size_t(CycleClass::NumClasses); ++c) {
+        if (!(m & classBit(CycleClass(c))))
+            continue;
+        if (!s.empty())
+            s += '/';
+        s += cycleClassName(CycleClass(c));
+    }
+    return s.empty() ? "none" : s;
+}
+
+/** Comma-separated obs event names for the counters in @p m. */
+std::string
+counterList(CounterMask m)
+{
+    std::string s;
+    for (uint32_t e = 0; e < obs::NumEvents; ++e) {
+        if (!(m & counterBit(obs::Ev(e))))
+            continue;
+        if (!s.empty())
+            s += ", ";
+        s += obs::evName(obs::Ev(e));
+    }
+    return s.empty() ? "none" : s;
+}
+
+} // namespace
+
+void
+Linter::checkCycleClasses()
+{
+    for (UAddr a = 1; a < img_.allocated; ++a) {
+        if (!cfg_.reachable(a))
+            continue;
+        const WordEffects &w = fx_.at(a);
+
+        int ncand = 0;
+        for (size_t c = 0; c < size_t(CycleClass::NumClasses); ++c)
+            if (w.candidates & classBit(CycleClass(c)))
+                ++ncand;
+        if (ncand != 1) {
+            add("UL013", a,
+                fmt("word 0x%04x matches %d cycle classes (%s): its "
+                    "histogram cycles cannot be filed in one Table 8 "
+                    "column", a, ncand,
+                    classList(w.candidates).c_str()));
+        }
+
+        // An unrowed word is UL001's finding; judging its class
+        // against an empty allowed set would only cascade.
+        Row r = img_.rowOf(a);
+        if (r == Row::None)
+            continue;
+        if (!(classBit(w.cls) & EffectMap::allowedClasses(r))) {
+            add("UL013", a,
+                fmt("word 0x%04x has cycle class %s, which row %s does "
+                    "not admit (allowed: %s)", a,
+                    std::string(cycleClassName(w.cls)).c_str(),
+                    std::string(ucode::rowName(r)).c_str(),
+                    classList(EffectMap::allowedClasses(r)).c_str()));
+        }
+    }
+}
+
+void
+Linter::checkCounterEffects()
+{
+    CounterMask coverage = 0;
+    for (UAddr a = 1; a < img_.allocated; ++a) {
+        if (!cfg_.reachable(a))
+            continue;
+        const WordEffects &w = fx_.at(a);
+        coverage |= w.counters;
+
+        Row r = img_.rowOf(a);
+        if (r == Row::None)
+            continue;  // UL001's finding; the row has no counter set
+        CounterMask excess = w.counters & ~EffectMap::allowedCounters(r);
+        if (excess) {
+            add("UL014", a,
+                fmt("word 0x%04x can bump counters row %s cannot "
+                    "generate: %s", a,
+                    std::string(ucode::rowName(r)).c_str(),
+                    counterList(excess).c_str()));
+        }
+    }
+
+    // Every counter the analyzer's cross-checks consume must have at
+    // least one reachable producer, or the dynamic audit for it is
+    // vacuous.
+    const obs::Ev core[] = {
+        obs::Ev::IboxDecodes,        obs::Ev::EboxUops,
+        obs::Ev::EboxIbStallCycles,  obs::Ev::EboxStallCycles,
+        obs::Ev::EboxAborts,         obs::Ev::EboxHaltCycles,
+        obs::Ev::EboxMemReadCycles,  obs::Ev::EboxMemWriteCycles,
+        obs::Ev::TbMissServicesD,    obs::Ev::TbMissServicesI,
+        obs::Ev::IrqDispatches,      obs::Ev::MachineChecks,
+    };
+    for (obs::Ev e : core) {
+        if (!(coverage & counterBit(e))) {
+            add("UL015", 0,
+                fmt("no reachable word can generate counter %s: the "
+                    "dynamic attribution check for it is vacuous",
+                    std::string(obs::evName(e)).c_str()));
+        }
+    }
+}
+
+void
+Linter::checkDataflow()
+{
+    const uint32_t n = img_.allocated;
+    std::vector<RegEffects> fx(n);
+    for (UAddr a = 1; a < n; ++a)
+        fx[a] = regEffects(img_.ops[a]);
+
+    // ---- UL010: dead pure writes. Backward liveness (union meet)
+    // over the full CFG: over-approximated successors can only keep
+    // more values live, so a write this analysis calls dead is dead
+    // under every path the hardware can actually take.
+    Problem live;
+    live.dir = Direction::Backward;
+    live.meet = Meet::Union;
+    live.top = 0;
+    live.gen.resize(n, 0);
+    live.kill.resize(n, 0);
+    for (UAddr a = 1; a < n; ++a) {
+        live.gen[a] = fx[a].liveUse();
+        live.kill[a] = fx[a].defMust();
+    }
+    Solution lv = solve(cfg_, live);
+    if (!lv.converged) {
+        add("UL010", 0,
+            fmt("liveness did not reach a fixpoint after %u steps",
+                lv.steps));
+    } else {
+        for (UAddr a = 1; a < n; ++a) {
+            if (!cfg_.reachable(a) || !fx[a].pureDef)
+                continue;
+            const RegMask later = fx[a].useMem | fx[a].usePost;
+            RegMask dead = fx[a].defPre & ~later & ~lv.out[a];
+            for (size_t r = 0; r < NumMRegs; ++r) {
+                if (!(dead & regBit(MReg(r))))
+                    continue;
+                add("UL010", a,
+                    fmt("word 0x%04x writes %s, but the value is "
+                        "overwritten on every path before any use: a "
+                        "dead setup cycle in the attribution", a,
+                        std::string(mregName(MReg(r))).c_str()));
+            }
+        }
+    }
+
+    // ---- UL011: certain reads no write can reach. Forward reaching
+    // definitions (union meet) over the *sequential* sub-CFG —
+    // dispatch and implied edges cut, so facts cannot leak between
+    // routines through the dispatch over-approximation. May-defs
+    // count as reaching (an Exec step is allowed to be the producer);
+    // a certain read that not even a may-def reaches is wrong on
+    // every path the hardware can take.
+    std::vector<std::vector<UAddr>> seq(n);
+    const ucode::Landmarks &mk = img_.marks;
+    auto fabricated = [&](UAddr a) {
+        return a == mk.abort || a == mk.ibStallDecode ||
+               a == mk.ibStallSpec1 || a == mk.ibStallSpec26 ||
+               a == mk.ibStallBdisp;
+    };
+    for (UAddr a = 1; a < n; ++a) {
+        if (fabricated(a))
+            continue;
+        const ucode::MicroOp &op = img_.ops[a];
+        auto to = [&](UAddr t) {
+            if (t != 0 && t < n)
+                seq[a].push_back(t);
+        };
+        switch (op.seq) {
+          case Seq::Next:
+            to(UAddr(a + 1));
+            break;
+          case Seq::Jump:
+            to(op.target);
+            break;
+          case Seq::Call:
+            to(op.target);
+            to(UAddr(a + 1));
+            break;
+          case Seq::JumpIfFlag:
+          case Seq::JumpIfNotFlag:
+            to(op.target);
+            to(UAddr(a + 1));
+            break;
+          case Seq::DecodeNextIfNotFlag:
+            to(UAddr(a + 1));
+            break;
+          default:
+            break;
+        }
+    }
+
+    Problem reach;
+    reach.dir = Direction::Forward;
+    reach.meet = Meet::Union;
+    reach.top = 0;
+    reach.gen.resize(n, 0);
+    reach.kill.resize(n, 0);
+    for (UAddr a = 1; a < n; ++a)
+        reach.gen[a] = fx[a].defMay;
+
+    // Entry contract: the hardware enters a post-index tail only after
+    // the indexed base calculation (and its SpecIndexAdd) has loaded
+    // TADDR, and the tails have no sequential predecessors to carry
+    // that fact in.
+    for (int f = 0; f < 2; ++f)
+        for (size_t b = 0; b < size_t(AccessBucket::NumBuckets); ++b)
+            if (UAddr t = img_.idxTail[f][b]; t != 0 && t < n)
+                reach.boundaries.emplace_back(t, regBit(MReg::Taddr));
+
+    Solution md = solve(seq, reach);
+    if (!md.converged) {
+        add("UL011", 0,
+            fmt("reaching definitions did not reach a fixpoint after "
+                "%u steps", md.steps));
+        return;
+    }
+    for (UAddr a = 1; a < n; ++a) {
+        if (!cfg_.reachable(a))
+            continue;
+        const RegEffects &e = fx[a];
+        RegMask have = md.in[a];
+        RegMask missing = e.usePreSure & ~have;
+        have |= e.defPre;
+        missing |= e.useMem & ~have;
+        have |= e.defMem;
+        missing |= e.usePostSure & ~have;
+        for (size_t r = 0; r < NumMRegs; ++r) {
+            if (!(missing & regBit(MReg(r))))
+                continue;
+            add("UL011", a,
+                fmt("word 0x%04x reads %s, but no write of it can "
+                    "reach this word", a,
+                    std::string(mregName(MReg(r))).c_str()));
+        }
+        // Intra-word bus conflict: the datapath drives a register and
+        // the word's own memory function overwrites it before any
+        // stage reads it.
+        RegMask clobber = e.defPre & e.defMem & ~e.useMem;
+        for (size_t r = 0; r < NumMRegs; ++r) {
+            if (!(clobber & regBit(MReg(r))))
+                continue;
+            add("UL011", a,
+                fmt("bus conflict: word 0x%04x drives %s and its "
+                    "memory function overwrites it in the same cycle",
+                    a, std::string(mregName(MReg(r))).c_str()));
+        }
+    }
+}
+
+void
+Linter::checkCutReachability()
+{
+    const uint32_t n = img_.allocated;
+    std::vector<bool> flagged(n, false);
+    bool any = false;
+    for (const Finding &f : rep_.findings) {
+        if (f.addr != 0 && f.addr < n) {
+            flagged[f.addr] = true;
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+    const UAddr root = img_.marks.decode;
+    // A flagged (or missing) root would make every word trivially
+    // tainted; the root's own finding already says it all.
+    if (root == 0 || root >= n || flagged[root])
+        return;
+
+    std::vector<bool> ok(n, false);
+    std::vector<UAddr> work{root};
+    ok[root] = true;
+    while (!work.empty()) {
+        UAddr a = work.back();
+        work.pop_back();
+        for (UAddr t : cfg_.successors(a)) {
+            if (!ok[t] && !flagged[t]) {
+                ok[t] = true;
+                work.push_back(t);
+            }
+        }
+    }
+    for (UAddr a = 1; a < n; ++a) {
+        if (cfg_.reachable(a) && !flagged[a] && !ok[a]) {
+            add("UL012", a,
+                fmt("word 0x%04x is reachable only through flagged "
+                    "words: its attribution inherits their defects",
+                    a));
+        }
+    }
+}
+
 } // namespace
 
 Report
@@ -724,6 +1045,69 @@ Report::toJson() const
     }
     out += findings.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";
+    return out;
+}
+
+std::string
+Report::toSarif() const
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+
+    // The rule table lists each distinct rule once, in first-seen
+    // order, as SARIF requires results to reference driver rules.
+    std::vector<std::string> rules;
+    auto ruleIndex = [&](const std::string &r) {
+        for (size_t i = 0; i < rules.size(); ++i)
+            if (rules[i] == r)
+                return i;
+        rules.push_back(r);
+        return rules.size() - 1;
+    };
+    std::vector<size_t> index;
+    index.reserve(findings.size());
+    for (const Finding &f : findings)
+        index.push_back(ruleIndex(f.rule));
+
+    std::string out =
+        "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [{\n"
+        "    \"tool\": {\"driver\": {\"name\": \"ulint\", "
+        "\"rules\": [";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        out += i ? ", " : "";
+        out += fmt("{\"id\": \"%s\"}", rules[i].c_str());
+    }
+    out += "]}},\n";
+    out += "    \"results\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += i ? ",\n      " : "\n      ";
+        out += fmt(
+            "{\"ruleId\": \"%s\", \"ruleIndex\": %zu, "
+            "\"level\": \"%s\", "
+            "\"message\": {\"text\": \"%s\"}, "
+            "\"locations\": [{\"logicalLocations\": "
+            "[{\"name\": \"u0x%04x\", \"fullyQualifiedName\": "
+            "\"controlstore/u0x%04x[%s]\", "
+            "\"kind\": \"instruction\"}]}]}",
+            f.rule.c_str(), index[i],
+            f.severity == Severity::Error ? "error" : "warning",
+            escape(f.detail).c_str(), f.addr, f.addr,
+            std::string(ucode::rowName(f.row)).c_str());
+    }
+    out += findings.empty() ? "]\n" : "\n    ]\n";
+    out += "  }]\n}\n";
     return out;
 }
 

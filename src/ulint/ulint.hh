@@ -41,6 +41,33 @@
  *    other than the one the paper's attribution requires (e.g. a
  *    first-specifier routine rowed SPEC2-6).
  *
+ * The dataflow rules (UL010+) run the fixpoint engine of dataflow.hh
+ * over the per-word effects of effects.hh:
+ *
+ *  - UL010 dead-write: a word whose only datapath effect is writing a
+ *    micro-register, but the value is overwritten on every path before
+ *    any use (backward liveness, union meet). Dead setup words dilute
+ *    the per-row cycle attribution with cycles that do nothing.
+ *  - UL011 undefined-read / bus conflict: a word's certain read of a
+ *    micro-register that no write — not even a may-def — can reach
+ *    (forward reaching definitions over the sequential sub-CFG, so
+ *    facts cannot leak between routines through the dispatch
+ *    over-approximation), or a word's own memory function overwrites
+ *    a value the word just drove before anything reads it.
+ *  - UL012 tainted-reach: a word reachable from uDECODE only through
+ *    words flagged by other rules; its attribution inherits their
+ *    defects even though the word itself is well-formed.
+ *  - UL013 class-ambiguity: a reachable word does not map to exactly
+ *    one UPC cycle class (compute/read/write/ib-stall/abort/halt), or
+ *    maps to a class its activity row cannot admit — the Table 8
+ *    column split would misfile its cycles.
+ *  - UL014 counter-unsound: a reachable word can bump an obs counter
+ *    its activity row's micro-ops cannot generate, so a dynamic count
+ *    could land outside the statically-allowed set.
+ *  - UL015 counter-unreachable: no reachable word can generate one of
+ *    the core obs counters; the dynamic cross-check for that event
+ *    would be vacuously true.
+ *
  * All rules are Severity::Error: the shipped microprogram must be
  * clean, and a ctest case asserts that it is.
  */
@@ -98,6 +125,13 @@ struct Report
 
     /** The same report as a JSON object (machine-readable). */
     std::string toJson() const;
+
+    /**
+     * The report as a SARIF 2.1.0 log so CI renders findings as code
+     * annotations. Micro-addresses have no source file, so each result
+     * carries a logical location naming the control-store word.
+     */
+    std::string toSarif() const;
 };
 
 /** Run every rule against @p image. */

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "arch/opcodes.hh"
 #include "ucode/controlstore.hh"
 #include "ulint/cfg.hh"
+#include "ulint/effects.hh"
 #include "ulint/ulint.hh"
 
 using namespace upc780;
@@ -264,6 +267,133 @@ TEST(UlintReport, FlaggedAddressesAreSortedUnique)
               flagged.end());
 }
 
+// ----- dataflow rules (UL010-UL015) ------------------------------------
+
+TEST(UlintSeeded, DeadMicroRegisterWriteFiresUL010)
+{
+    MicrocodeImage img = copyShipped();
+    // Splice a branch-target computation into the HALT resting loop:
+    // its TADDR write feeds the Nop'ing halted word and nothing else —
+    // a dead write on every path.
+    UAddr x = static_cast<UAddr>(img.allocated);
+    img.ops[x] = ucode::MicroOp{ucode::Dp::BranchTarget, ucode::Mem::None,
+                                ucode::Ib::None, ucode::Seq::Jump,
+                                img.marks.halted, 0};
+    img.info[x].row = Row::ExSimple;
+    ++img.allocated;
+    img.ops[img.marks.halted].target = x;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL010"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(x));
+}
+
+TEST(UlintSeeded, UnfedCertainReadFiresUL011)
+{
+    MicrocodeImage img = copyShipped();
+    // A dispatch-only entry that consumes TADDR nobody computed: the
+    // word before it ends with DecodeNext (no fall-through), and
+    // dispatch edges carry no sequential facts.
+    UAddr x0 = static_cast<UAddr>(img.allocated);
+    UAddr x1 = static_cast<UAddr>(img.allocated + 1);
+    img.ops[x0] = ucode::MicroOp{ucode::Dp::Nop, ucode::Mem::None,
+                                 ucode::Ib::None, ucode::Seq::DecodeNext,
+                                 0, 0};
+    img.ops[x1] = ucode::MicroOp{ucode::Dp::TakeBranch, ucode::Mem::None,
+                                 ucode::Ib::None, ucode::Seq::DecodeNext,
+                                 0, 0};
+    img.info[x0].row = Row::ExSimple;
+    img.info[x1].row = Row::ExSimple;
+    img.allocated += 2;
+    img.execEntries[x1] = img.execEntries[img.execEntry[MovlOpcode]];
+    img.execEntry[MovlOpcode] = x1;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL011"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(x1));
+}
+
+TEST(UlintSeeded, IntraWordBusConflictFiresUL011)
+{
+    MicrocodeImage img = copyShipped();
+    // A result-writeback word whose memory function becomes a read:
+    // the ReadV's MDR arrival clobbers the value the datapath just
+    // drove, in the same cycle.
+    UAddr a = 0;
+    for (UAddr i = 1; i < img.allocated; ++i) {
+        if (img.ops[i].dp == ucode::Dp::WriteResult) {
+            a = i;
+            break;
+        }
+    }
+    ASSERT_NE(a, 0u);
+    img.ops[a].mem = ucode::Mem::ReadV;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL011"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, ReachableOnlyThroughFlaggedWordFiresUL012)
+{
+    MicrocodeImage img = copyShipped();
+    // The ABORT word gaining a memory function flags it (UL005 et
+    // al.); the TB-miss service entries are reachable only through it,
+    // so their attribution inherits the defect.
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL012"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(img.marks.tbMissD));
+    EXPECT_TRUE(r.flags(img.marks.tbMissI));
+}
+
+TEST(UlintSeeded, AmbiguousCycleClassFiresUL013)
+{
+    MicrocodeImage img = copyShipped();
+    // The HALT resting word with a memory function matches two cycle
+    // classes (Halt by landmark identity, Read by memory function):
+    // its histogram bucket no longer maps to one Table 8 column.
+    img.ops[img.marks.halted].mem = ucode::Mem::ReadV;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL013"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(img.marks.halted));
+}
+
+TEST(UlintSeeded, CounterOutsideRowAllowanceFiresUL014)
+{
+    MicrocodeImage img = copyShipped();
+    // An execute-row word acquiring the opcode-consuming IB function
+    // could bump ibox.decodes — a counter its row must never generate.
+    UAddr a = img.execEntry[MovlOpcode];
+    ASSERT_NE(a, 0u);
+    img.ops[a].ib = ucode::Ib::DecodeOp;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL014"), 1u) << r.toText();
+    EXPECT_TRUE(r.flags(a));
+}
+
+TEST(UlintSeeded, MissingCoreEventCoverageFiresUL015)
+{
+    MicrocodeImage img = copyShipped();
+    // Strip the decode word's IB function: no reachable word can bump
+    // ibox.decodes any more, so the counter fabric went blind to a
+    // core event.
+    img.ops[img.marks.decode].ib = ucode::Ib::None;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL015"), 1u) << r.toText();
+}
+
 TEST(UlintReport, TextAndJsonCarryRuleIds)
 {
     MicrocodeImage img = copyShipped();
@@ -276,4 +406,67 @@ TEST(UlintReport, TextAndJsonCarryRuleIds)
 
     Report clean = lint(ucode::microcodeImage());
     EXPECT_NE(clean.toJson().find("\"clean\": true"), std::string::npos);
+}
+
+TEST(UlintReport, SarifCarriesRulesAndResults)
+{
+    MicrocodeImage img = copyShipped();
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    std::string s = lint(img).toSarif();
+    EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"ulint\""), std::string::npos);
+    EXPECT_NE(s.find("\"ruleId\": \"UL005\""), std::string::npos);
+    EXPECT_NE(s.find("\"level\": \"error\""), std::string::npos);
+
+    std::string clean = lint(ucode::microcodeImage()).toSarif();
+    EXPECT_NE(clean.find("\"results\": []"), std::string::npos);
+}
+
+TEST(UlintAttribution, ShippedMatrixIsUnambiguous)
+{
+    const MicrocodeImage &img = ucode::microcodeImage();
+    MicroCfg cfg(img);
+    ulint::EffectMap fx(img);
+
+    // Every reachable word maps to exactly one cycle class, admitted
+    // by its row — the property the runtime audit leans on.
+    for (UAddr a = 1; a < img.allocated; ++a) {
+        if (!cfg.reachable(a))
+            continue;
+        const ulint::WordEffects &w = fx.at(a);
+        EXPECT_EQ(std::popcount(unsigned(w.candidates)), 1)
+            << "ambiguous class at " << a;
+        ASSERT_NE(img.rowOf(a), Row::None);
+        EXPECT_NE(ulint::classBit(w.cls) &
+                      ulint::EffectMap::allowedClasses(img.rowOf(a)),
+                  0u)
+            << "class outside row allowance at " << a;
+    }
+
+    // Landmarks classify by identity.
+    EXPECT_EQ(fx.classOf(img.marks.halted), ulint::CycleClass::Halt);
+    EXPECT_EQ(fx.classOf(img.marks.abort), ulint::CycleClass::Abort);
+    EXPECT_EQ(fx.classOf(img.marks.ibStallDecode),
+              ulint::CycleClass::IbStall);
+    // Only words with a memory function can accrue stall cycles.
+    EXPECT_FALSE(fx.canStall(img.marks.decode));
+    EXPECT_FALSE(fx.canStall(img.marks.halted));
+}
+
+TEST(UlintAttribution, MatrixJsonNamesEveryAllocatedWord)
+{
+    const MicrocodeImage &img = ucode::microcodeImage();
+    MicroCfg cfg(img);
+    std::string j = ulint::EffectMap(img).toJson(cfg);
+
+    EXPECT_NE(j.find("\"rows\""), std::string::npos);
+    EXPECT_NE(j.find("\"class\""), std::string::npos);
+    EXPECT_NE(j.find("\"counters\""), std::string::npos);
+    // One "addr" entry per checked word.
+    size_t entries = 0;
+    for (size_t at = j.find("\"addr\""); at != std::string::npos;
+         at = j.find("\"addr\"", at + 1))
+        ++entries;
+    EXPECT_EQ(entries, size_t(img.allocated) - 1);
 }

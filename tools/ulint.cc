@@ -3,17 +3,21 @@
  * tools/ulint — command-line front end for the control-store linter.
  *
  * Runs every ulint rule against the shipped microprogram (or the
- * no-FPA variant) and prints the findings. Exits 0 when the image is
- * clean, 1 when any Error-severity finding fired, 2 on usage errors,
- * so build scripts and CI can gate on it.
+ * no-FPA variant) and prints the findings, or emits the static
+ * attribution matrix the runtime audit checks against. Exits 0 when
+ * the image is clean, 1 when any Error-severity finding fired, 2 on
+ * usage errors, so build scripts and CI can gate on it.
  *
- * Usage: ulint [--report] [--json] [--no-fpa] [--quiet]
+ * Usage: ulint [--report|--json|--sarif|--attribution] [--no-fpa]
+ *              [--quiet]
  */
 
 #include <cstdio>
 #include <cstring>
 
 #include "ucode/controlstore.hh"
+#include "ulint/cfg.hh"
+#include "ulint/effects.hh"
 #include "ulint/ulint.hh"
 
 namespace
@@ -23,30 +27,54 @@ int
 usage(const char *argv0)
 {
     fprintf(stderr,
-            "usage: %s [--report] [--json] [--no-fpa] [--quiet]\n"
-            "  --report  print the full findings report (default)\n"
-            "  --json    print the report as JSON\n"
-            "  --no-fpa  lint the microprogram assembled without the "
-            "FPA\n"
-            "  --quiet   print nothing; exit status only\n",
+            "usage: %s [--report|--json|--sarif|--attribution] "
+            "[--no-fpa] [--quiet]\n"
+            "  --report       print the full findings report "
+            "(default)\n"
+            "  --json         print the report as JSON\n"
+            "  --sarif        print the report as SARIF 2.1.0 (CI "
+            "annotations)\n"
+            "  --attribution  print the static attribution matrix "
+            "(word ->\n"
+            "                 cycle class, stall capability, allowed "
+            "counters)\n"
+            "  --no-fpa       lint the microprogram assembled without "
+            "the FPA\n"
+            "  --quiet        print nothing; exit status only\n"
+            "exit status:\n"
+            "  0  image is clean (no Error-severity finding)\n"
+            "  1  at least one Error-severity finding fired\n"
+            "  2  usage error\n",
             argv0);
     return 2;
 }
+
+enum class Output
+{
+    Text,
+    Json,
+    Sarif,
+    Attribution,
+};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool json = false;
+    Output out = Output::Text;
     bool quiet = false;
     bool no_fpa = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!strcmp(argv[i], "--report")) {
-            // default output mode
+            out = Output::Text;
         } else if (!strcmp(argv[i], "--json")) {
-            json = true;
+            out = Output::Json;
+        } else if (!strcmp(argv[i], "--sarif")) {
+            out = Output::Sarif;
+        } else if (!strcmp(argv[i], "--attribution")) {
+            out = Output::Attribution;
         } else if (!strcmp(argv[i], "--no-fpa")) {
             no_fpa = true;
         } else if (!strcmp(argv[i], "--quiet")) {
@@ -63,10 +91,23 @@ main(int argc, char **argv)
     upc780::ulint::Report report = upc780::ulint::lint(img);
 
     if (!quiet) {
-        if (json)
-            fputs(report.toJson().c_str(), stdout);
-        else
+        switch (out) {
+          case Output::Text:
             fputs(report.toText().c_str(), stdout);
+            break;
+          case Output::Json:
+            fputs(report.toJson().c_str(), stdout);
+            break;
+          case Output::Sarif:
+            fputs(report.toSarif().c_str(), stdout);
+            break;
+          case Output::Attribution: {
+            upc780::ulint::MicroCfg cfg(img);
+            upc780::ulint::EffectMap fx(img);
+            fputs(fx.toJson(cfg).c_str(), stdout);
+            break;
+          }
+        }
     }
     return report.clean() ? 0 : 1;
 }
