@@ -58,6 +58,18 @@ fi
 echo "== parallel + golden labels =="
 ctest --test-dir "$BUILD" -L "parallel|golden" --output-on-failure
 
+echo "== ubench ground-truth suite =="
+ctest --test-dir "$BUILD" -L ubench --output-on-failure
+# The latency-table tool's machine-readable output must stay valid
+# JSON (the ctest smoke covers schema; this guards the CLI surface).
+if command -v python3 >/dev/null 2>&1
+then
+    "$BUILD/tools/upctable" --json | python3 -m json.tool > /dev/null
+    echo "upctable --json output is well-formed"
+else
+    "$BUILD/tools/upctable" --json > /dev/null
+fi
+
 echo "== 4-worker composite is byte-identical to serial =="
 UPC780_LOG_LEVEL=quiet "$BUILD/examples/paper_report" 6000 --jobs 1 \
     > "$BUILD/report-serial.txt"
@@ -100,30 +112,32 @@ ctest --test-dir "$BUILD-noobs" -L golden --output-on-failure
 
 if command -v gcov >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1
 then
-    echo "== coverage build (src/obs must stay >= 90% line coverage) =="
+    echo "== coverage build (src/obs, src/ubench >= 90% line coverage) =="
     cmake -S . -B "$BUILD-cov" -DCMAKE_BUILD_TYPE=Debug \
         -DUPC780_COVERAGE=ON
     cmake --build "$BUILD-cov" -j "$JOBS"
-    ctest --test-dir "$BUILD-cov" -L "obs|golden|lint" \
+    ctest --test-dir "$BUILD-cov" -L "obs|golden|lint|ubench" \
         --output-on-failure
     python3 scripts/coverage_report.py "$BUILD-cov" --root . \
-        --fail-under src/obs=90
+        --fail-under src/obs=90 --fail-under src/ubench=90
 else
     echo "== gcov/python3 unavailable; skipping coverage report =="
 fi
 
-echo "== asan build (faults + lint + snap tests) =="
+echo "== asan build (faults + lint + snap + ubench tests) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
-ctest --test-dir "$BUILD-asan" -L "faults|lint|snap" --output-on-failure
+ctest --test-dir "$BUILD-asan" -L "faults|lint|snap|ubench" \
+    --output-on-failure
 
-echo "== ubsan build (lint + snap tests) =="
+echo "== ubsan build (lint + snap + ubench tests) =="
 cmake -S . -B "$BUILD-ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=undefined
 cmake --build "$BUILD-ubsan" -j "$JOBS"
 UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$BUILD-ubsan" -L "lint|snap" --output-on-failure
+    ctest --test-dir "$BUILD-ubsan" -L "lint|snap|ubench" \
+    --output-on-failure
 
 if echo 'int main(){return 0;}' | \
     c++ -fsanitize=thread -x c++ - -o "$BUILD/tsan-probe" 2>/dev/null

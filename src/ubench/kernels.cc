@@ -1,0 +1,492 @@
+/**
+ * @file
+ * The generated kernel classes. Each builder assembles a real VAX code
+ * image (a counted SOBGTR loop) and, in the same breath, resolves its
+ * iteration script against the shipped microcode image: which spec
+ * routine every operand dispatches to, which execute entry the decode
+ * selects, and which D-stream references each instruction makes.
+ *
+ * Every kernel is constructed so that replacement randomness can never
+ * fire: no cache set is ever asked to hold more live blocks than it
+ * has ways, and no TB set relies on eviction order beyond strict
+ * mutual eviction of exactly two pages. The analytic model enforces
+ * this mechanically (it panics on a full cache set).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "arch/opcodes.hh"
+#include "common/logging.hh"
+#include "mmu/pagetable.hh"
+#include "ubench/ubench.hh"
+
+namespace upc780::ubench
+{
+
+using arch::Access;
+using arch::AddrMode;
+using arch::Op;
+using arch::Operand;
+using ucode::AccessBucket;
+using ucode::MicrocodeImage;
+using ucode::SpecMode;
+using ucode::UAddr;
+
+namespace
+{
+
+// Processor-register indices (Ebox::writePr).
+constexpr uint32_t PrIsp = 4;
+constexpr uint32_t PrSbr = 12;
+constexpr uint32_t PrSlr = 13;
+constexpr uint32_t PrScbb = 17;
+constexpr uint32_t PrSirr = 20;
+constexpr uint32_t PrTbia = 57;
+
+/**
+ * Resolve the spec routine an operand dispatches to, mirroring
+ * Ebox::dispatchSpecifier's routing for the (non-indexed) modes the
+ * kernels use.
+ */
+KInstr::Spec
+makeSpec(const MicrocodeImage &img, unsigned i, AddrMode m, Access a,
+         uint8_t enc_len)
+{
+    const int f = i == 0 ? 1 : 0;
+    UAddr e = 0;
+    if (m == AddrMode::Register) {
+        e = a == Access::Field
+                ? img.regFieldRoutine[f]
+                : img.specRoutine[f][size_t(SpecMode::Reg)]
+                                 [size_t(ucode::accessBucketFor(a))];
+    } else if (m == AddrMode::Literal) {
+        e = img.specRoutine[f][size_t(SpecMode::Lit)]
+                           [size_t(AccessBucket::Read)];
+    } else {
+        e = img.specRoutine[f][size_t(ucode::specModeFor(m))]
+                           [size_t(ucode::accessBucketFor(a))];
+    }
+    if (e == 0)
+        panic("ubench: no spec routine for mode %u access %u",
+              unsigned(m), unsigned(a));
+    return {e, enc_len};
+}
+
+/**
+ * Resolve the execute entry, applying the register-alternate selection
+ * exactly as the decode does. @p reg_operands says the kernel supplies
+ * the first Modify/Field operand (if any) in register mode.
+ */
+UAddr
+execFor(const MicrocodeImage &img, Op op, bool reg_operands)
+{
+    const uint8_t code = uint8_t(op);
+    UAddr e = img.execEntry[code];
+    if (e == 0)
+        panic("ubench: no execute microcode for opcode 0x%02x", code);
+    UAddr alt = img.execEntryRegAlt[code];
+    if (alt && reg_operands) {
+        const arch::OpcodeInfo &info = arch::opcodeInfo(code);
+        for (unsigned i = 0; i < info.numOperands; ++i) {
+            Access a = info.operands[i].access;
+            if (a == Access::Modify || a == Access::Field) {
+                e = alt;
+                break;
+            }
+        }
+    }
+    return e;
+}
+
+KInstr
+instr(const MicrocodeImage &img, Op op, bool reg_operands = true)
+{
+    KInstr ki;
+    ki.opcode = uint8_t(op);
+    ki.execEntry = execFor(img, op, reg_operands);
+    return ki;
+}
+
+/**
+ * Build the loop scaffold shared by every periodic kernel: @p body
+ * emits the loop body (code + script entries), then the builder closes
+ * the loop with SOBGTR R6 back to the head and parks a HALT after it.
+ */
+template <typename Body>
+Kernel
+loopKernel(const MicrocodeImage &img, const char *name, arch::VAddr base,
+           Body body)
+{
+    Kernel k;
+    k.name = name;
+    k.entryPc = base;
+
+    arch::Assembler a(base);
+    arch::Label head = a.here();
+    body(a, k);
+
+    KInstr sob = instr(img, Op::SOBGTR);
+    sob.specs[0] = makeSpec(img, 0, AddrMode::Register, Access::Modify, 1);
+    sob.taken = true;
+    sob.redirectTo = base;
+    k.script.push_back(sob);
+
+    a.emitBr(Op::SOBGTR, {Operand::reg(k.loopReg)}, head);
+    a.emit(Op::HALT, {});
+    k.images.push_back({base, a.finish()});
+    return k;
+}
+
+/** MOVL src,dst where both operands are pre-resolved by the caller. */
+KInstr
+movl(const MicrocodeImage &img, KInstr::Spec src, KInstr::Spec dst)
+{
+    KInstr ki = instr(img, Op::MOVL);
+    ki.specs[0] = src;
+    ki.specs[1] = dst;
+    return ki;
+}
+
+// ----- kernel builders ----------------------------------------------------
+
+/** Register-only ALU work: no memory, no stalls, pure decode+exec. */
+Kernel
+aluReg(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "alu_reg", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr add = instr(img, Op::ADDL3);
+        add.specs[0] = makeSpec(img, 0, AddrMode::Register, Access::Read, 1);
+        add.specs[1] = makeSpec(img, 1, AddrMode::Register, Access::Read, 1);
+        add.specs[2] = makeSpec(img, 2, AddrMode::Register, Access::Write, 1);
+        kk.script.push_back(add);
+        a.emit(Op::ADDL3,
+               {Operand::reg(1), Operand::reg(2), Operand::reg(3)});
+
+        KInstr inc = instr(img, Op::INCL);  // Modify reg -> regAlt entry
+        inc.specs[0] = makeSpec(img, 0, AddrMode::Register, Access::Modify, 1);
+        kk.script.push_back(inc);
+        a.emit(Op::INCL, {Operand::reg(4)});
+    });
+    k.gprWrites = {{1, 5}, {2, 7}, {4, 0}};
+    return k;
+}
+
+/** Forced cache-hit stream: same aligned longword every iteration. */
+Kernel
+readHit(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "read_hit", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr ld = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        ld.memRefs = {{0x4000, 0, 4}};
+        kk.script.push_back(ld);
+        a.emit(Op::MOVL, {Operand::regDef(1), Operand::reg(2)});
+    });
+    k.gprWrites = {{1, 0x4000}};
+    return k;
+}
+
+/** Boundary-crossing scalar read: two refs, one block, unaligned++. */
+Kernel
+readUnaligned(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "read_unaligned", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr ld = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        ld.memRefs = {{0x4002, 0, 4}};
+        kk.script.push_back(ld);
+        a.emit(Op::MOVL, {Operand::regDef(1), Operand::reg(2)});
+    });
+    k.gprWrites = {{1, 0x4002}};
+    return k;
+}
+
+/**
+ * Forced cache-miss stream: each iteration touches a fresh 8-byte
+ * block (compulsory miss) then re-reads it (hit), so every cache set
+ * is visited at most once per way and no replacement ever fires.
+ */
+Kernel
+readMiss(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "read_miss", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        for (int i = 0; i < 2; ++i) {
+            KInstr ld = movl(
+                img, makeSpec(img, 0, AddrMode::AutoIncr, Access::Read, 1),
+                makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+            ld.memRefs = {{0x10000 + 4 * i, 8, 4}};
+            kk.script.push_back(ld);
+            a.emit(Op::MOVL, {Operand::autoInc(1), Operand::reg(2 + i)});
+        }
+    });
+    k.gprWrites = {{1, 0x10000}};
+    return k;
+}
+
+/** Cache disabled: every reference (ifetch included) rides the SBI. */
+Kernel
+cacheOff(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "cache_off", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr ld = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        ld.memRefs = {{0x4000, 0, 4}};
+        kk.script.push_back(ld);
+        a.emit(Op::MOVL, {Operand::regDef(1), Operand::reg(2)});
+    });
+    k.gprWrites = {{1, 0x4000}};
+    k.cacheEnabled = false;
+    return k;
+}
+
+/** Write-through hit stream: read allocates, write updates in place. */
+Kernel
+writeHit(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "write_hit", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr ld = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        ld.memRefs = {{0x4000, 0, 4}};
+        kk.script.push_back(ld);
+        a.emit(Op::MOVL, {Operand::regDef(1), Operand::reg(2)});
+
+        KInstr st = movl(
+            img, makeSpec(img, 0, AddrMode::Register, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::RegDeferred, Access::Write, 1));
+        st.memRefs = {{0x4000, 0, 4}};
+        kk.script.push_back(st);
+        a.emit(Op::MOVL, {Operand::reg(2), Operand::regDef(1)});
+    });
+    k.gprWrites = {{1, 0x4000}};
+    return k;
+}
+
+/**
+ * Write-buffer saturation: three back-to-back stores against a
+ * single-entry buffer, so each SBI write (6 cycles) backs up into
+ * measurable WbStallCycles.
+ */
+Kernel
+writeSat(const MicrocodeImage &img)
+{
+    Kernel k = loopKernel(img, "write_sat", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        for (int i = 0; i < 3; ++i) {
+            KInstr st = instr(img, Op::MOVL);
+            st.specs[0] = makeSpec(img, 0, AddrMode::Register,
+                                   Access::Read, 1);
+            if (i == 0) {
+                st.specs[1] = makeSpec(img, 1, AddrMode::RegDeferred,
+                                       Access::Write, 1);
+                a.emit(Op::MOVL, {Operand::reg(2), Operand::regDef(1)});
+            } else {
+                st.specs[1] = makeSpec(img, 1, AddrMode::DispByte,
+                                       Access::Write, 2);
+                a.emit(Op::MOVL,
+                       {Operand::reg(2),
+                        Operand::disp(4 * i, 1, arch::DispWidth::Byte)});
+            }
+            st.memRefs = {{0x5000 + 4 * i, 0, 4}};
+            kk.script.push_back(st);
+        }
+    });
+    k.gprWrites = {{1, 0x5000}, {2, 0xDEADBEEF}};
+    return k;
+}
+
+/**
+ * IB starvation: every instruction is a taken branch, so the buffer is
+ * flushed before the 2-cycle refill can ever run ahead of decode.
+ */
+Kernel
+ibStarve(const MicrocodeImage &img)
+{
+    return loopKernel(img, "ib_starve", 0x1000,
+                      [&](arch::Assembler &a, Kernel &kk) {
+        // Three BRB hops, each to the next 4-aligned address; the last
+        // lands on the SOBGTR the scaffold emits right after the body.
+        // (align() pads with zeros, but a taken branch never executes
+        // its padding.)
+        for (int i = 0; i < 3; ++i) {
+            arch::Label next = a.newLabel();
+            a.emitBr(Op::BRB, next);
+            a.align(4);
+            a.bind(next);
+
+            KInstr br = instr(img, Op::BRB);
+            br.taken = true;
+            br.redirectTo = a.pc();
+            kk.script.push_back(br);
+        }
+    });
+}
+
+/** FPA on/off pair: same ADDF3 body, two microcode images. */
+Kernel
+floatKernel(const MicrocodeImage &img, bool fpa)
+{
+    Kernel k = loopKernel(img, fpa ? "float_fpa" : "float_nofpa", 0x1000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr add = instr(img, Op::ADDF3);
+        add.specs[0] = makeSpec(img, 0, AddrMode::Register, Access::Read, 1);
+        add.specs[1] = makeSpec(img, 1, AddrMode::Register, Access::Read, 1);
+        add.specs[2] = makeSpec(img, 2, AddrMode::Register, Access::Write, 1);
+        kk.script.push_back(add);
+        a.emit(Op::ADDF3,
+               {Operand::reg(1), Operand::reg(2), Operand::reg(3)});
+    });
+    // F_floating 1.0 (sign 0, exponent 129, fraction 0).
+    k.gprWrites = {{1, 0x00004080}, {2, 0x00004080}};
+    k.fpa = fpa;
+    return k;
+}
+
+/**
+ * Forced TB misses with known service cost: two data pages whose VPNs
+ * share TB set 1 in the system half, so each evicts the other every
+ * iteration — two TB miss services (one PTE read each) per loop, with
+ * every cache set holding at most two live blocks (data A and page B's
+ * PTE share set 64; that is the full occupancy of that set).
+ */
+Kernel
+tbMiss(const MicrocodeImage &img)
+{
+    constexpr uint32_t sbr = 0x40000;
+    constexpr arch::VAddr va_a = 0x80008200;  // S0 vpn 65 -> TB set 1
+    constexpr arch::VAddr va_b = 0x80010210;  // S0 vpn 129 -> TB set 1
+
+    Kernel k = loopKernel(img, "tb_miss", 0x80001000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr lda = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        lda.memRefs = {{va_a, 0, 4}};
+        kk.script.push_back(lda);
+        a.emit(Op::MOVL, {Operand::regDef(1), Operand::reg(2)});
+
+        KInstr ldb = movl(
+            img, makeSpec(img, 0, AddrMode::RegDeferred, Access::Read, 1),
+            makeSpec(img, 1, AddrMode::Register, Access::Write, 1));
+        ldb.memRefs = {{va_b, 0, 4}};
+        kk.script.push_back(ldb);
+        a.emit(Op::MOVL, {Operand::regDef(3), Operand::reg(4)});
+    });
+    k.gprWrites = {{1, va_a}, {3, va_b}};
+    k.mapped = true;
+    k.sbr = sbr;
+    k.prWrites = {{PrSbr, sbr}, {PrSlr, 1024}};
+    // Identity-map the pages the kernel touches: code (vpn 8..9) and
+    // the two data pages.
+    for (uint32_t vpn : {8u, 9u, 65u, 129u})
+        k.memWords.push_back({sbr + 4 * vpn, mmu::pte::make(vpn)});
+    return k;
+}
+
+/**
+ * TBIA flush loop: MTPR #0,#TBIA wipes both TB halves each iteration,
+ * so the next I-stream fill must re-walk the code page — one I-side
+ * miss service per loop, plus the flush counter itself.
+ */
+Kernel
+tbIflush(const MicrocodeImage &img)
+{
+    constexpr uint32_t sbr = 0x40000;
+
+    Kernel k = loopKernel(img, "tb_iflush", 0x80001000,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr flush = instr(img, Op::MTPR);
+        flush.specs[0] = makeSpec(img, 0, AddrMode::Literal, Access::Read, 1);
+        flush.specs[1] = makeSpec(img, 1, AddrMode::Literal, Access::Read, 1);
+        flush.tbFlushAll = true;
+        kk.script.push_back(flush);
+        a.emit(Op::MTPR, {Operand::lit(0), Operand::lit(uint8_t(PrTbia))});
+    });
+    k.mapped = true;
+    k.sbr = sbr;
+    k.prWrites = {{PrSbr, sbr}, {PrSlr, 1024}};
+    for (uint32_t vpn : {8u, 9u})
+        k.memWords.push_back({sbr + 4 * vpn, mmu::pte::make(vpn)});
+    return k;
+}
+
+/**
+ * Soft-interrupt dispatch: MTPR #3,#SIRR posts IPL-3 software request;
+ * end-of-instruction dispatch reads the SCB vector, pushes PSL/PC on
+ * the interrupt stack and enters a handler that is a bare REI.
+ */
+Kernel
+softIrq(const MicrocodeImage &img)
+{
+    // Addresses are chosen so the I-stream prefetch of the loop, the
+    // handler's prefetch, the SCB vector and the stack block all live
+    // in distinct cache sets (the model panics on any full set).
+    constexpr arch::VAddr base = 0x1000;
+    constexpr arch::VAddr handler = 0x2100;
+    constexpr uint32_t scbb = 0x3200;
+    constexpr uint32_t isp = 0x7000;
+
+    Kernel k = loopKernel(img, "softirq", base,
+                          [&](arch::Assembler &a, Kernel &kk) {
+        KInstr post = instr(img, Op::MTPR);
+        post.specs[0] = makeSpec(img, 0, AddrMode::Literal, Access::Read, 1);
+        post.specs[1] = makeSpec(img, 1, AddrMode::Literal, Access::Read, 1);
+        kk.script.push_back(post);
+        a.emit(Op::MTPR, {Operand::lit(3), Operand::lit(uint8_t(PrSirr))});
+        arch::VAddr after_mtpr = a.pc();
+
+        KInstr disp;  // interrupt dispatch pseudo-entry
+        disp.intDispatch = true;
+        disp.memRefs = {{scbb + 4 * 3, 0, 4},   // SCB vector (ReadP)
+                        {isp - 4, 0, 4},        // push PSL
+                        {isp - 8, 0, 4}};       // push PC
+        disp.redirectTo = handler;
+        kk.script.push_back(disp);
+
+        KInstr rei = instr(img, Op::REI);
+        rei.memRefs = {{isp - 8, 0, 4},         // pop PC
+                       {isp - 4, 0, 4}};        // pop PSL
+        rei.taken = true;
+        rei.redirectTo = after_mtpr;
+        kk.script.push_back(rei);
+    });
+
+    arch::Assembler h(handler);
+    h.emit(Op::REI, {});
+    k.images.push_back({handler, h.finish()});
+
+    k.prWrites = {{PrScbb, scbb}, {PrIsp, isp}};
+    // SCB entry for software level 3: handler PC, low bit = use the
+    // interrupt stack.
+    k.memWords.push_back({scbb + 4 * 3, handler | 1});
+    return k;
+}
+
+} // namespace
+
+std::vector<Kernel>
+allKernels()
+{
+    const ucode::MicrocodeImage &img = ucode::microcodeImage();
+    const ucode::MicrocodeImage &nofpa = ucode::microcodeImageNoFpa();
+    return {
+        aluReg(img),      readHit(img),     readUnaligned(img),
+        readMiss(img),    cacheOff(img),    writeHit(img),
+        writeSat(img),    ibStarve(img),    floatKernel(img, true),
+        floatKernel(nofpa, false),          tbMiss(img),
+        tbIflush(img),    softIrq(img),
+    };
+}
+
+} // namespace upc780::ubench

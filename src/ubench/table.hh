@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Derived per-instruction latency/stall table for the 780 — the
+ * uops.info-style product of the generator: sweep the opcode set with
+ * register-operand loop kernels, measure one steady-state iteration of
+ * each on the real machine (UPC monitor attached), and subtract the
+ * empty-loop baseline. Measured, not asserted; the JSON rendering is
+ * pinned as a golden so the table can only change deliberately.
+ */
+
+#ifndef UPC780_UBENCH_TABLE_HH
+#define UPC780_UBENCH_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upc780::ubench
+{
+
+/** One opcode's measured steady-state loop iteration. */
+struct TableRow
+{
+    uint8_t opcode = 0;
+    std::string mnemonic;
+    std::string group;
+    uint64_t cycles = 0;    //!< per iteration, incl. loop overhead
+    uint64_t uops = 0;      //!< histogram counts per iteration
+    uint64_t stalls = 0;    //!< histogram stalls per iteration
+    int64_t latency = 0;    //!< cycles minus the empty-loop baseline
+    int64_t cyclesNoFpa = -1;  //!< Float group only; -1 otherwise
+};
+
+/** An opcode the sweep could not measure, with the reason. */
+struct TableSkip
+{
+    uint8_t opcode = 0;
+    std::string mnemonic;
+    std::string reason;
+};
+
+struct LatencyTable
+{
+    uint64_t baselineCycles = 0;  //!< empty SOBGTR loop, per iteration
+    std::vector<TableRow> rows;
+    std::vector<TableSkip> skipped;
+};
+
+/**
+ * Sweep every measurable opcode: valid, Simple or Float group, not
+ * PC-changing, all operands plain Read/Write/Modify data operands.
+ */
+LatencyTable sweepLatencyTable();
+
+std::string tableToJson(const LatencyTable &t);
+std::string tableToText(const LatencyTable &t);
+
+} // namespace upc780::ubench
+
+#endif // UPC780_UBENCH_TABLE_HH

@@ -129,6 +129,34 @@ commercialProfile()
     return p;
 }
 
+WorkloadProfile
+burstyNetworkProfile()
+{
+    WorkloadProfile p;
+    p.name = "RTE bursty interactive + network daemons (24 users)";
+    p.users = 24;
+    // Interactive bursts: short think times, several editor/shell
+    // round-trips per wait, heavy terminal traffic.
+    p.sessionRepeat = 3;
+    p.weights.intLoop = 1.0;
+    p.weights.dataMove = 1.6;       // mbuf-style buffer shuffling
+    p.weights.branchy = 2.520;      // protocol state machines
+    p.weights.callTree = 3.276;
+    p.weights.subrCalls = 2.080;    // small fast-path helpers
+    p.weights.stringOps = 1.640;    // packet copy/compare
+    p.weights.floatKernel = 0.055;
+    p.weights.intMulDiv = 0.125;    // checksum folding
+    p.weights.fieldOps = 1.260;     // header bit fields
+    p.weights.bitBranches = 0.870;  // flag words
+    p.weights.caseDispatch = 3.200; // demux on protocol/port
+    p.weights.queueOps = 2.160;     // interface and socket queues
+    p.weights.sysWrite = 2.420;     // daemon chatter
+    p.dataPages = 88;
+    p.thinkMeanCycles = 30240;      // bursty: short inter-arrival
+    p.seed = 0x6666;
+    return p;
+}
+
 std::vector<WorkloadProfile>
 paperWorkloads()
 {

@@ -62,6 +62,15 @@ WorkloadProfile scientificProfile();
 /** RTE: 32 users doing transaction processing. */
 WorkloadProfile commercialProfile();
 
+/**
+ * RTE: bursty interactive use plus resident network daemons — the
+ * 4.2BSD VAX networking/timesharing configuration class (SNIPPETS.md
+ * snippet 1) the paper never measured. Not part of paperWorkloads():
+ * Tables 1-9 stay the paper's composites; this profile has its own
+ * golden (rte_bursty.json).
+ */
+WorkloadProfile burstyNetworkProfile();
+
 /** The five paper workloads, in the paper's order. */
 std::vector<WorkloadProfile> paperWorkloads();
 

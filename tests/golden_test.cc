@@ -339,6 +339,40 @@ TEST(Golden, Table9PerGroupCycles)
     checkGolden("table9.json", t);
 }
 
+TEST(Golden, RteBurstyProfile)
+{
+    // The bursty interactive + network-daemon RTE profile (4.2BSD
+    // class) is not part of the paper composite — Tables 1-9 above
+    // stay untouched — but its own attribution is pinned so drift in
+    // the generator or the profile weights is caught the same way.
+    sim::ExperimentConfig cfg;
+    cfg.instructionsPerWorkload = 12000;
+    cfg.warmupInstructions = 2000;
+    sim::ParallelEngine engine(cfg);
+    sim::CompositeResult comp =
+        engine.runComposite({wkl::burstyNetworkProfile()});
+    ASSERT_TRUE(comp.allOk());
+
+    upc::HistogramAnalyzer an(comp.histogram, ucode::microcodeImage());
+    Table t;
+    t["instructions"] = fmt(an.instructions());
+    t["cycles"] = fmt(an.cycles());
+    t["cpi"] = fmt(an.cpi());
+    t["timerInterrupts"] = fmt(comp.timerInterrupts);
+    t["terminalInterrupts"] = fmt(comp.terminalInterrupts);
+    auto freq = an.opcodeGroupFrequency();
+    for (size_t g = 0; g < size_t(arch::Group::NumGroups); ++g) {
+        std::string name(arch::groupName(static_cast<arch::Group>(g)));
+        t["freq." + name] = fmt(freq[g]);
+    }
+    auto m = an.timingMatrix();
+    for (size_t c = 0; c < size_t(upc::Col::NumCols); ++c) {
+        std::string col(upc::colName(static_cast<upc::Col>(c)));
+        t["cycles." + col] = fmt(m.colTotal(static_cast<upc::Col>(c)));
+    }
+    checkGolden("rte_bursty.json", t);
+}
+
 TEST(Golden, ObservabilityDoesNotPerturbTables)
 {
     // The observability layer must be a pure observer: running the

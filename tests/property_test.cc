@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Property tests for the merge algebra behind the parallel engine's
+ * determinism contract (DESIGN.md §10): Histogram::merge and
+ * CompositeResult::add must be commutative and associative so that
+ * results folded in any arrival order produce bit-identical
+ * composites. Randomized, seeded (failures reproduce), and shrinking:
+ * a failing histogram is minimized to the fewest buckets that still
+ * falsify the property before it is reported.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/experiment.hh"
+#include "upc/histogram.hh"
+
+namespace
+{
+
+using namespace upc780;
+using upc::Histogram;
+
+constexpr uint64_t Seed = 0x780bed5;
+constexpr int Trials = 32;
+
+/** A histogram as a sparse bucket list — the shrinkable representation. */
+using Sparse = std::vector<std::pair<uint32_t, std::pair<uint64_t, uint64_t>>>;
+
+Sparse
+randomSparse(Rng &rng)
+{
+    Sparse s;
+    uint64_t n = rng.below(64);
+    for (uint64_t i = 0; i < n; ++i) {
+        uint32_t bucket = uint32_t(rng.below(Histogram::NumBuckets));
+        uint64_t count = rng.below(8);
+        uint64_t stall = rng.below(8);
+        s.push_back({bucket, {count, stall}});
+    }
+    return s;
+}
+
+/** Build a histogram holding exactly the sparse values. Repeated
+ * buckets in the list accumulate, as merge itself would. */
+Histogram
+buildExact(const Sparse &s)
+{
+    Histogram h;
+    for (const auto &[bucket, cs] : s) {
+        for (uint64_t i = 0; i < cs.first; ++i)
+            h.bumpCount(bucket);
+        for (uint64_t i = 0; i < cs.second; ++i)
+            h.bumpStall(bucket);
+    }
+    return h;
+}
+
+bool
+commutes(const Sparse &a, const Sparse &b)
+{
+    Histogram ab = buildExact(a);
+    ab.merge(buildExact(b));
+    Histogram ba = buildExact(b);
+    ba.merge(buildExact(a));
+    return ab == ba;
+}
+
+bool
+associates(const Sparse &a, const Sparse &b, const Sparse &c)
+{
+    Histogram left = buildExact(a);
+    left.merge(buildExact(b));
+    left.merge(buildExact(c));
+
+    Histogram bc = buildExact(b);
+    bc.merge(buildExact(c));
+    Histogram right = buildExact(a);
+    right.merge(bc);
+    return left == right;
+}
+
+/**
+ * Shrink a failing case: repeatedly drop buckets while the predicate
+ * still fails, ending at a locally-minimal counterexample.
+ */
+template <typename Fails>
+Sparse
+shrink(Sparse s, Fails fails)
+{
+    bool progress = true;
+    while (progress && !s.empty()) {
+        progress = false;
+        // Try dropping progressively smaller chunks, then singles.
+        for (size_t chunk = s.size(); chunk >= 1; chunk /= 2) {
+            for (size_t at = 0; at + chunk <= s.size();) {
+                Sparse candidate = s;
+                candidate.erase(candidate.begin() + long(at),
+                                candidate.begin() + long(at + chunk));
+                if (fails(candidate)) {
+                    s = std::move(candidate);
+                    progress = true;
+                } else {
+                    at += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    return s;
+}
+
+std::string
+describe(const Sparse &s)
+{
+    std::string out = "{";
+    for (const auto &[bucket, cs] : s)
+        out += " [" + std::to_string(bucket) + "]=" +
+               std::to_string(cs.first) + "+" + std::to_string(cs.second) +
+               "s";
+    return out + " }";
+}
+
+TEST(MergeAlgebra, HistogramMergeCommutes)
+{
+    Rng rng(Seed);
+    for (int t = 0; t < Trials; ++t) {
+        Sparse a = randomSparse(rng);
+        Sparse b = randomSparse(rng);
+        if (!commutes(a, b)) {
+            Sparse sa = shrink(a, [&](const Sparse &x) {
+                return !commutes(x, b);
+            });
+            Sparse sb = shrink(b, [&](const Sparse &x) {
+                return !commutes(sa, x);
+            });
+            FAIL() << "merge not commutative (trial " << t
+                   << ", shrunk): a=" << describe(sa)
+                   << " b=" << describe(sb);
+        }
+    }
+}
+
+TEST(MergeAlgebra, HistogramMergeAssociates)
+{
+    Rng rng(Seed + 1);
+    for (int t = 0; t < Trials; ++t) {
+        Sparse a = randomSparse(rng);
+        Sparse b = randomSparse(rng);
+        Sparse c = randomSparse(rng);
+        if (!associates(a, b, c)) {
+            Sparse sa = shrink(a, [&](const Sparse &x) {
+                return !associates(x, b, c);
+            });
+            Sparse sb = shrink(b, [&](const Sparse &x) {
+                return !associates(sa, x, c);
+            });
+            Sparse sc = shrink(c, [&](const Sparse &x) {
+                return !associates(sa, sb, x);
+            });
+            FAIL() << "merge not associative (trial " << t
+                   << ", shrunk): a=" << describe(sa)
+                   << " b=" << describe(sb) << " c=" << describe(sc);
+        }
+    }
+}
+
+TEST(MergeAlgebra, EmptyHistogramIsIdentity)
+{
+    Rng rng(Seed + 2);
+    for (int t = 0; t < 8; ++t) {
+        Histogram h = buildExact(randomSparse(rng));
+        Histogram left;
+        left.merge(h);
+        Histogram right = h;
+        right.merge(Histogram{});
+        EXPECT_EQ(left, h);
+        EXPECT_EQ(right, h);
+    }
+}
+
+/** The shrinker itself must minimize a known-failing predicate. */
+TEST(MergeAlgebra, ShrinkerFindsMinimalCounterexample)
+{
+    Rng rng(Seed + 3);
+    Sparse big = randomSparse(rng);
+    big.push_back({42, {7, 0}});
+    // Predicate "fails" iff bucket 42 present: minimum is exactly it.
+    Sparse minimal = shrink(big, [](const Sparse &s) {
+        return std::any_of(s.begin(), s.end(),
+                           [](const auto &e) { return e.first == 42; });
+    });
+    ASSERT_EQ(minimal.size(), 1u);
+    EXPECT_EQ(minimal[0].first, 42u);
+}
+
+// ----- CompositeResult::add ------------------------------------------------
+
+sim::WorkloadResult
+randomResult(Rng &rng, int i)
+{
+    sim::WorkloadResult r;
+    r.name = "w" + std::to_string(i);
+    r.histogram = buildExact(randomSparse(rng));
+    r.cycles = rng.below(1 << 20);
+    r.hw.dReads = rng.below(1000);
+    r.hw.dReadMisses = rng.below(100);
+    r.hw.writes = rng.below(1000);
+    r.hw.tbDMisses = rng.below(50);
+    r.hw.ibFills = rng.below(500);
+    r.timerInterrupts = rng.below(10);
+    for (size_t e = 0; e < obs::NumEvents; ++e)
+        r.obs.counters[e] = rng.below(1 << 16);
+    r.ok = rng.below(8) != 0;  // occasionally a failed workload
+    return r;
+}
+
+/** Fold in the given order; aggregates must not depend on it. */
+sim::CompositeResult
+fold(const std::vector<sim::WorkloadResult> &rs,
+     const std::vector<size_t> &order)
+{
+    sim::CompositeResult c;
+    for (size_t idx : order)
+        c.add(rs[idx]);
+    return c;
+}
+
+void
+expectSameAggregates(const sim::CompositeResult &a,
+                     const sim::CompositeResult &b)
+{
+    EXPECT_EQ(a.histogram, b.histogram);
+    EXPECT_EQ(a.hw.dReads, b.hw.dReads);
+    EXPECT_EQ(a.hw.dReadMisses, b.hw.dReadMisses);
+    EXPECT_EQ(a.hw.writes, b.hw.writes);
+    EXPECT_EQ(a.hw.tbDMisses, b.hw.tbDMisses);
+    EXPECT_EQ(a.hw.ibFills, b.hw.ibFills);
+    EXPECT_EQ(a.timerInterrupts, b.timerInterrupts);
+    EXPECT_EQ(a.obs, b.obs);
+    EXPECT_EQ(a.instructions(), b.instructions());
+}
+
+TEST(MergeAlgebra, CompositeAddIsOrderIndependent)
+{
+    Rng rng(Seed + 4);
+    for (int t = 0; t < 8; ++t) {
+        std::vector<sim::WorkloadResult> rs;
+        for (int i = 0; i < 5; ++i)
+            rs.push_back(randomResult(rng, i));
+
+        std::vector<size_t> order = {0, 1, 2, 3, 4};
+        sim::CompositeResult canonical = fold(rs, order);
+        for (int p = 0; p < 6; ++p) {
+            // Seeded shuffle (Fisher-Yates on the shared Rng).
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            expectSameAggregates(fold(rs, order), canonical);
+        }
+    }
+}
+
+} // namespace

@@ -22,7 +22,7 @@ using namespace upc780;
 namespace
 {
 
-constexpr unsigned Replications = 8;
+constexpr unsigned Replications = 6;
 
 const std::vector<sim::CompositeResult> &
 sweep()

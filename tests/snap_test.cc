@@ -325,7 +325,7 @@ TEST(SnapMachine, CorruptCheckpointFileNeverMisRestores)
 
     // Single-bit flips striding the whole file (magic, meta, section
     // table, payloads, CRC field): every one must be caught.
-    const size_t stride = std::max<size_t>(1, good.size() / 101);
+    const size_t stride = std::max<size_t>(1, good.size() / 37);
     for (size_t pos = 0; pos < good.size(); pos += stride) {
         std::vector<uint8_t> flipped = good;
         flipped[pos] ^= static_cast<uint8_t>(1u << (pos % 8));

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * upctable — derive the per-instruction latency/stall table for the
+ * 780 from generated microbenchmarks (the uops.info-style product of
+ * src/ubench): each measurable opcode runs in a register-operand
+ * SOBGTR loop on the real machine with the UPC monitor attached, and
+ * the steady-state per-iteration cycle/uop/stall numbers are reported
+ * with the empty-loop baseline subtracted.
+ *
+ * Usage:
+ *     upctable            human-readable table
+ *     upctable --json     machine-readable (pinned as tests/golden)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "ubench/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json")) {
+            json = true;
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            std::printf("usage: upctable [--json]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "upctable: unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    upc780::ubench::LatencyTable t = upc780::ubench::sweepLatencyTable();
+    std::fputs((json ? upc780::ubench::tableToJson(t)
+                     : upc780::ubench::tableToText(t))
+                   .c_str(),
+               stdout);
+    return 0;
+}

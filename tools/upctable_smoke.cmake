@@ -1,0 +1,20 @@
+# Smoke-test for upctable --json: the output must be well-formed JSON
+# (piped through python's parser) and contain the schema marker.
+execute_process(COMMAND ${UPCTABLE} --json
+                OUTPUT_VARIABLE out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "upctable --json exited ${rc}")
+endif()
+if(NOT out MATCHES "upc780-latency-table-v1")
+    message(FATAL_ERROR "upctable --json lacks the schema marker")
+endif()
+
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/upctable_smoke.json "${out}")
+execute_process(COMMAND ${PYTHON} -m json.tool
+                        ${CMAKE_CURRENT_BINARY_DIR}/upctable_smoke.json
+                OUTPUT_QUIET
+                RESULT_VARIABLE jrc)
+if(NOT jrc EQUAL 0)
+    message(FATAL_ERROR "upctable --json is not well-formed JSON")
+endif()
