@@ -230,10 +230,20 @@ main()
             std::fprintf(stderr, "cannot write %s\n", out);
             return 1;
         }
+        // Emitted figures are only meaningful from an optimized
+        // build; record which one produced them so scripts/check.sh
+        // can refuse to commit debug-build numbers as the baseline.
+#ifdef NDEBUG
+        const char *build_type = "release";
+#else
+        const char *build_type = "debug";
+#endif
         std::fprintf(f,
                      "{\n  \"bench\": \"parallel\",\n"
+                     "  \"library_build_type\": \"%s\",\n"
                      "  \"instructions_per_workload\": %llu,\n"
                      "  \"hardware_threads\": %u,\n  \"scaling\": [",
+                     build_type,
                      static_cast<unsigned long long>(instr), hw);
         for (size_t i = 0; i < rows.size(); ++i)
             std::fprintf(f,

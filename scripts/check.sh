@@ -6,11 +6,14 @@
 # prove the snapshot layer's crash-recovery contract (a composite that
 # crashes mid-run and restores from checkpoints, serially and with 4
 # workers, must reproduce the uninterrupted report byte for byte),
-# emit the perf-trajectory figures (BENCH_simspeed.json,
-# BENCH_parallel.json), then rebuild with AddressSanitizer for the
-# fault/lint/snap tests, with UBSan for the lint/snap tests, and —
-# when the toolchain supports it — with ThreadSanitizer for the
-# parallel-labeled tests.
+# run the dual-dispatch differential suite (switch vs threaded must be
+# byte-identical), emit the perf-trajectory figures (BENCH_simspeed.json,
+# BENCH_parallel.json) from a dedicated Release build-bench tree —
+# comparing against the committed baseline and refusing debug-build
+# figures — then rebuild with AddressSanitizer for the
+# fault/lint/snap/dispatch tests, with UBSan for the
+# lint/snap/dispatch tests, and — when the toolchain supports it —
+# with ThreadSanitizer for the parallel-labeled tests.
 #
 #   scripts/check.sh [build-dir]          (default: build-check)
 #
@@ -97,12 +100,40 @@ echo "identical"
 echo "== snap-labeled tests =="
 ctest --test-dir "$BUILD" -L snap --output-on-failure
 
-echo "== perf trajectory (BENCH_*.json at the repo root) =="
+echo "== dispatch differential suite (switch vs threaded) =="
+ctest --test-dir "$BUILD" -L dispatch --output-on-failure
+
+echo "== perf trajectory (Release build-bench; BENCH_*.json at root) =="
+# The committed figures are the baseline future PRs are judged
+# against, so they must come from an optimized build: benchmarks get
+# their own Release tree (the main gate build stays RelWithDebInfo
+# for debuggable test failures).
+cmake -S . -B build-bench -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j "$JOBS" --target bench_simspeed \
+    bench_parallel
+# Compare against the committed baseline first (prints a WARNING and
+# a REGRESSION marker per benchmark >10% down; set
+# UPC780_BENCH_STRICT=1 to turn regressions into a hard failure),
+# then re-emit both figure files.
+if [ -f "$PWD/BENCH_simspeed.json" ]
+then
+    build-bench/bench/bench_simspeed --compare "$PWD/BENCH_simspeed.json"
+fi
 UPC780_BENCH_JSON="$PWD/BENCH_parallel.json" \
-UPC780_LOG_LEVEL=quiet "$BUILD/bench/bench_parallel"
-"$BUILD/bench/bench_simspeed" \
+UPC780_LOG_LEVEL=quiet build-bench/bench/bench_parallel
+build-bench/bench/bench_simspeed \
     --benchmark_out="$PWD/BENCH_simspeed.json" \
     --benchmark_out_format=json
+# Refuse to bless debug-build numbers as the committed baseline.
+for f in BENCH_simspeed.json BENCH_parallel.json
+do
+    if ! grep -q '"library_build_type": "release"' "$PWD/$f"
+    then
+        echo "error: $f was emitted by a non-release build" >&2
+        exit 1
+    fi
+done
+echo "benchmark figures emitted from a release build"
 
 echo "== obs-off build: golden tables identical without the layer =="
 cmake -S . -B "$BUILD-noobs" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -124,19 +155,19 @@ else
     echo "== gcov/python3 unavailable; skipping coverage report =="
 fi
 
-echo "== asan build (faults + lint + snap + ubench tests) =="
+echo "== asan build (faults + lint + snap + ubench + dispatch tests) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
-ctest --test-dir "$BUILD-asan" -L "faults|lint|snap|ubench" \
+ctest --test-dir "$BUILD-asan" -L "faults|lint|snap|ubench|dispatch" \
     --output-on-failure
 
-echo "== ubsan build (lint + snap + ubench tests) =="
+echo "== ubsan build (lint + snap + ubench + dispatch tests) =="
 cmake -S . -B "$BUILD-ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=undefined
 cmake --build "$BUILD-ubsan" -j "$JOBS"
 UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$BUILD-ubsan" -L "lint|snap|ubench" \
+    ctest --test-dir "$BUILD-ubsan" -L "lint|snap|ubench|dispatch" \
     --output-on-failure
 
 if echo 'int main(){return 0;}' | \

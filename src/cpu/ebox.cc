@@ -14,10 +14,24 @@ using namespace upc780::ucode;
 using namespace upc780::arch;
 
 Ebox::Ebox(const MicrocodeImage &image, mem::MemorySubsystem &memsys,
-           mmu::TranslationBuffer &tb, IBox &ibox)
-    : img_(image), memsys_(memsys), tb_(tb), ibox_(ibox)
+           mmu::TranslationBuffer &tb, IBox &ibox, ucode::DispatchMode mode)
+    : img_(image), threaded_(mode == ucode::DispatchMode::Threaded),
+      memsys_(memsys), tb_(tb), ibox_(ibox)
 {
     upc_ = img_.marks.decode;
+    rebindDecoded();
+}
+
+void
+Ebox::rebindDecoded()
+{
+    if (threaded_) {
+        dimg_ = ucode::decodedImage(img_);
+        rows_ = dimg_->rows.data();
+    } else {
+        dimg_.reset();
+        rows_ = nullptr;
+    }
 }
 
 void
@@ -108,13 +122,13 @@ Ebox::cycleInner(uint64_t now)
                 return {img_.marks.abort, false, false};
             }
             obsEv_.ibStall = true;
-            return {pendStallAddr_, false, false};
+            return {pendStallAddr_, false, false, true};
         }
         pendDispatch_ = false;
         upc_ = t;
     }
 
-    return runCycle(now);
+    return threaded_ ? runCycleDecoded(now) : runCycle(now);
 }
 
 CycleOut
@@ -130,6 +144,12 @@ Ebox::runCycle(uint64_t now)
     }
     csRetried_ = false;
 
+    return runCycleCore(now);
+}
+
+CycleOut
+Ebox::runCycleCore(uint64_t now)
+{
     const MicroOp &op = img_.ops[upc_];
 
     // 1. I-Decode requirement: insufficient bytes is an IB stall cycle
@@ -144,7 +164,7 @@ Ebox::runCycle(uint64_t now)
                 return {img_.marks.abort, false, false};
             }
             obsEv_.ibStall = true;
-            return {ibStallAddrFor(op), false, false};
+            return {ibStallAddrFor(op), false, false, true};
         }
     }
 
@@ -214,13 +234,9 @@ Ebox::ibSatisfied(const MicroOp &op, uint32_t &need) const
       case Ib::GetImmHigh:
         need = 4;
         break;
-      case Ib::GetBranchDisp: {
-        need = 1;
-        for (const OperandSpec &s : curInfo_->specs())
-            if (s.access == Access::BranchW)
-                need = 2;
+      case Ib::GetBranchDisp:
+        need = branchDispNeed();
         break;
-      }
       default:
         need = 0;
         return true;
@@ -237,9 +253,25 @@ Ebox::ibStallAddrFor(const MicroOp &op) const
       case Ib::GetBranchDisp:
         return img_.marks.ibStallBdisp;
       default:
-        return curSpecIdx_ == 0 ? img_.marks.ibStallSpec1
-                                : img_.marks.ibStallSpec26;
+        return specStallAddr();
     }
+}
+
+UAddr
+Ebox::specStallAddr() const
+{
+    return curSpecIdx_ == 0 ? img_.marks.ibStallSpec1
+                            : img_.marks.ibStallSpec26;
+}
+
+uint32_t
+Ebox::branchDispNeed() const
+{
+    uint32_t need = 1;
+    for (const OperandSpec &s : curInfo_->specs())
+        if (s.access == Access::BranchW)
+            need = 2;
+    return need;
 }
 
 void
@@ -248,7 +280,39 @@ Ebox::consumeIb(const MicroOp &op)
     switch (op.ib) {
       case Ib::None:
         return;
-      case Ib::DecodeOp: {
+      case Ib::DecodeOp:
+        consumeDecodeOp();
+        return;
+      case Ib::DecodeSpec:
+        ibox_.consume(curEncLen_);
+        pc_ += curEncLen_;
+        return;
+      case Ib::GetImmHigh: {
+        uint32_t hi = 0;
+        for (int i = 0; i < 4; ++i)
+            hi |= static_cast<uint32_t>(ibox_.peek(i)) << (8 * i);
+        ibox_.consume(4);
+        pc_ += 4;
+        opnd_[curSpecIdx_].value |= static_cast<uint64_t>(hi) << 32;
+        return;
+      }
+      case Ib::GetBranchDisp: {
+        uint32_t n = branchDispNeed();
+        uint32_t raw = ibox_.peek(0);
+        if (n == 2)
+            raw |= static_cast<uint32_t>(ibox_.peek(1)) << 8;
+        branchDisp_ = sext(raw, static_cast<int>(8 * n));
+        ibox_.consume(n);
+        pc_ += n;
+        return;
+      }
+    }
+}
+
+void
+Ebox::consumeDecodeOp()
+{
+    {
         curOp_ = ibox_.peek(0);
         ibox_.consume(1);
         pc_ += 1;
@@ -319,33 +383,6 @@ Ebox::consumeIb(const MicroOp &op)
             }
         }
         return;
-      }
-      case Ib::DecodeSpec:
-        ibox_.consume(curEncLen_);
-        pc_ += curEncLen_;
-        return;
-      case Ib::GetImmHigh: {
-        uint32_t hi = 0;
-        for (int i = 0; i < 4; ++i)
-            hi |= static_cast<uint32_t>(ibox_.peek(i)) << (8 * i);
-        ibox_.consume(4);
-        pc_ += 4;
-        opnd_[curSpecIdx_].value |= static_cast<uint64_t>(hi) << 32;
-        return;
-      }
-      case Ib::GetBranchDisp: {
-        uint32_t n = 1;
-        for (const OperandSpec &s : curInfo_->specs())
-            if (s.access == Access::BranchW)
-                n = 2;
-        uint32_t raw = ibox_.peek(0);
-        if (n == 2)
-            raw |= static_cast<uint32_t>(ibox_.peek(1)) << 8;
-        branchDisp_ = sext(raw, static_cast<int>(8 * n));
-        ibox_.consume(n);
-        pc_ += n;
-        return;
-      }
     }
 }
 
@@ -390,19 +427,9 @@ Ebox::sequence(const MicroOp &op)
       case Seq::JumpIfNotFlag:
         upc_ = !flag_ ? op.target : static_cast<UAddr>(upc_ + 1);
         return;
-      case Seq::SpecDispatch: {
-        UAddr t = trySpecDispatch();
-        if (t == 0) {
-            pendDispatch_ = true;
-            pendStallAddr_ = scan_ == 0 ? img_.marks.ibStallSpec1
-                                        : img_.marks.ibStallSpec26;
-            // upc_ is stale until the dispatch succeeds; cycle()
-            // consults pendDispatch_ first.
-        } else {
-            upc_ = t;
-        }
+      case Seq::SpecDispatch:
+        seqSpecDispatch();
         return;
-      }
       case Seq::DecodeNext:
         upc_ = endInstruction();
         return;
@@ -419,6 +446,422 @@ Ebox::sequence(const MicroOp &op)
         upc_ = trappedUpc_;
         return;
     }
+}
+
+void
+Ebox::seqSpecDispatch()
+{
+    UAddr t = trySpecDispatch();
+    if (t == 0) {
+        pendDispatch_ = true;
+        pendStallAddr_ = scan_ == 0 ? img_.marks.ibStallSpec1
+                                    : img_.marks.ibStallSpec26;
+        // upc_ is stale until the dispatch succeeds; cycle()
+        // consults pendDispatch_ first.
+    } else {
+        upc_ = t;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Threaded dispatch over the pre-decoded control store. Each fused
+// handler is the legacy runCycleCore specialized for one (dp, mem, ib,
+// seq) combination; Generic rows fall back to the full legacy body, so
+// any word of any image — including defective test images — executes
+// identically in both modes. The serialized-state discipline of the
+// legacy path (dpMemSize_ reset at each memory word, memDone_ held
+// across stalls, pendingComplete_/memSuppressed_ transitions) is
+// replicated exactly so snapshots taken under either dispatcher are
+// byte-identical.
+// --------------------------------------------------------------------------
+
+CycleOut
+Ebox::runCycleDecoded(uint64_t now)
+{
+    if (fault_ && !csRetried_ && fault_->onCsFetch()) {
+        csRetried_ = true;
+        obsEv_.abort = true;
+        return {img_.marks.abort, false, false};
+    }
+    csRetried_ = false;
+
+    const ucode::DecodedRow &row = rows_[upc_];
+
+#if defined(__GNUC__) || defined(__clang__)
+    // Computed-goto dispatch: one indirect branch per cycle, with a
+    // distinct branch site per handler transition for the predictor.
+    static const void *const tbl[] = {
+        &&hx_generic,  &&hx_pad,       &&hx_decode,    &&hx_spechead,
+        &&hx_specopnd, &&hx_mdrread,   &&hx_wres,      &&hx_opndaddr,
+        &&hx_nopdisp,  &&hx_exec,      &&hx_execstep,  &&hx_loopdec,
+        &&hx_brdisp,   &&hx_takebr,    &&hx_execdisp,  &&hx_execbdisp,
+        &&hx_brtgt,
+    };
+    static_assert(sizeof(tbl) / sizeof(tbl[0]) ==
+                  static_cast<size_t>(ucode::Hx::NumHandlers));
+    goto *tbl[static_cast<size_t>(row.h)];
+
+  hx_generic:
+    return runCycleCore(now);
+  hx_pad:
+    return hxPad(row);
+  hx_decode:
+    return hxDecode(row);
+  hx_spechead:
+    return hxSpecHead(row);
+  hx_specopnd:
+    return hxSpecOperand(row);
+  hx_mdrread:
+    return hxOperandMdrRead(row);
+  hx_wres:
+    return hxWriteResultSpec(row);
+  hx_opndaddr:
+    return hxOperandAddrDisp(row);
+  hx_nopdisp:
+    return hxNopSpecDispatch(row);
+  hx_exec:
+    return hxExecNext(row);
+  hx_execstep:
+    return hxExecStepNext(row);
+  hx_loopdec:
+    return hxLoopDecJif(row);
+  hx_brdisp:
+    return hxBranchDisp(row);
+  hx_takebr:
+    return hxTakeBranchDecode(row);
+  hx_execdisp:
+    return hxExecSpecDispatch(row);
+  hx_execbdisp:
+    return hxExecBdispCond(row);
+  hx_brtgt:
+    return hxBranchTargetNext(row);
+#else
+    // Portable fallback: a single dense switch over the handler id.
+    switch (row.h) {
+      case ucode::Hx::Generic:
+        return runCycleCore(now);
+      case ucode::Hx::Pad:
+        return hxPad(row);
+      case ucode::Hx::Decode:
+        return hxDecode(row);
+      case ucode::Hx::SpecHead:
+        return hxSpecHead(row);
+      case ucode::Hx::SpecOperand:
+        return hxSpecOperand(row);
+      case ucode::Hx::OperandMdrRead:
+        return hxOperandMdrRead(row);
+      case ucode::Hx::WriteResultSpec:
+        return hxWriteResultSpec(row);
+      case ucode::Hx::OperandAddrDisp:
+        return hxOperandAddrDisp(row);
+      case ucode::Hx::NopSpecDispatch:
+        return hxNopSpecDispatch(row);
+      case ucode::Hx::ExecNext:
+        return hxExecNext(row);
+      case ucode::Hx::ExecStepNext:
+        return hxExecStepNext(row);
+      case ucode::Hx::LoopDecJif:
+        return hxLoopDecJif(row);
+      case ucode::Hx::BranchDisp:
+        return hxBranchDisp(row);
+      case ucode::Hx::TakeBranchDecode:
+        return hxTakeBranchDecode(row);
+      case ucode::Hx::ExecSpecDispatch:
+        return hxExecSpecDispatch(row);
+      case ucode::Hx::ExecBdispCond:
+        return hxExecBdispCond(row);
+      case ucode::Hx::BranchTargetNext:
+        return hxBranchTargetNext(row);
+      default:
+        return runCycleCore(now);
+    }
+#endif
+}
+
+bool
+Ebox::ibGate(uint32_t need, UAddr stall_addr, CycleOut &out)
+{
+    if (ibox_.available() >= need)
+        return true;
+    if (ibox_.tbMissPending()) {
+        startTrap(TrapKind::TbMissI, ibox_.tbMissVa());
+        obsEv_.abort = true;
+        out = {img_.marks.abort, false, false};
+    } else {
+        obsEv_.ibStall = true;
+        out = {stall_addr, false, false, true};
+    }
+    return false;
+}
+
+CycleOut
+Ebox::hxPad(const ucode::DecodedRow &row)
+{
+    ++upc_;
+    return {row.self, false, false};
+}
+
+CycleOut
+Ebox::hxDecode(const ucode::DecodedRow &row)
+{
+    CycleOut out;
+    if (!ibGate(1, img_.marks.ibStallDecode, out))
+        return out;
+    consumeDecodeOp();
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxSpecHead(const ucode::DecodedRow &row)
+{
+    CycleOut out;
+    if (!ibGate(curEncLen_, specStallAddr(), out))
+        return out;
+    ibox_.consume(curEncLen_);
+    pc_ += curEncLen_;
+    switch (row.op.dp) {
+      case Dp::SpecLoadReg:
+        taddr_ = curSpec_.reg == reg::PC ? pc_ : gpr_[curSpec_.reg];
+        break;
+      case Dp::SpecLoadRegDisp:
+        taddr_ = (curSpec_.reg == reg::PC ? pc_ : gpr_[curSpec_.reg]) +
+                 static_cast<uint32_t>(curSpec_.disp);
+        break;
+      case Dp::SpecLoadAbs:
+        taddr_ = static_cast<uint32_t>(curSpec_.immediate);
+        break;
+      case Dp::SpecAutoInc: {
+        uint32_t step = row.op.arg ? row.op.arg : curSize_;
+        taddr_ = gpr_[curSpec_.reg];
+        gpr_[curSpec_.reg] += step;
+        break;
+      }
+      default: {  // SpecAutoDec, by classifyUop
+        uint32_t step = row.op.arg ? row.op.arg : curSize_;
+        gpr_[curSpec_.reg] -= step;
+        taddr_ = gpr_[curSpec_.reg];
+        break;
+      }
+    }
+    ++upc_;
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxSpecOperand(const ucode::DecodedRow &row)
+{
+    CycleOut out;
+    if (!ibGate(curEncLen_, specStallAddr(), out))
+        return out;
+    ibox_.consume(curEncLen_);
+    pc_ += curEncLen_;
+    switch (row.op.dp) {
+      case Dp::OperandFromReg: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.reg = curSpec_.reg;
+        if (curAccess_ == Access::Field) {
+            o.kind = Opnd::Kind::FieldReg;
+        } else {
+            o.kind = Opnd::Kind::RegVal;
+            o.value = gpr_[curSpec_.reg];
+            if (curSize_ == 8) {
+                o.value |= static_cast<uint64_t>(
+                    gpr_[(curSpec_.reg + 1) & 0xf]) << 32;
+            }
+        }
+        break;
+      }
+      case Dp::OperandFromLit: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::RegVal;
+        o.value = expandLiteral(curSpec_.literal);
+        break;
+      }
+      case Dp::OperandFromImm: {
+        Opnd &o = opnd_[curSpecIdx_];
+        o.kind = Opnd::Kind::RegVal;
+        o.value = curSpec_.immediate;
+        break;
+      }
+      default:  // RegWriteSpec, by classifyUop
+        if (curResultIdx_ >= results_.size())
+            panic("register write specifier with no pending result");
+        storeRegResult(curSpec_.reg, results_[curResultIdx_], curSize_);
+        break;
+    }
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxOperandMdrRead(const ucode::DecodedRow &row)
+{
+    if (!memDone_ && !pendingComplete_) {
+        dpMemSize_ = 0;
+        memSuppressed_ = false;
+        arch::PAddr pa = taddr_;
+        if (mapEnabled_ && !tb_.lookup(taddr_, false, pa)) {
+            startTrap(TrapKind::TbMissD, taddr_);
+            obsEv_.abort = true;
+            return {img_.marks.abort, false, false};
+        }
+        uint32_t size = row.op.arg ? row.op.arg : curSize_;
+        auto r = memsys_.read(pa, size, now_);
+        mdr_ = r.data;
+        memDone_ = true;
+        if (r.stallCycles > 0) {
+            stallRemaining_ = r.stallCycles - 1;
+            pendingComplete_ = true;
+            return {upc_, true, false};
+        }
+    }
+    pendingComplete_ = false;
+    obsEv_.memRead = true;
+    Opnd &o = opnd_[curSpecIdx_];
+    o.kind = Opnd::Kind::MemVal;
+    o.value = mdr_;
+    o.addr = taddr_;
+    memDone_ = false;
+    memSuppressed_ = false;
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxWriteResultSpec(const ucode::DecodedRow &row)
+{
+    if (!memDone_ && !pendingComplete_) {
+        dpMemSize_ = 0;
+        memSuppressed_ = false;
+        if (curResultIdx_ >= results_.size())
+            panic("write specifier with no pending result");
+        mdr_ = results_[curResultIdx_];
+        arch::PAddr pa = taddr_;
+        if (mapEnabled_ && !tb_.lookup(taddr_, false, pa)) {
+            startTrap(TrapKind::TbMissD, taddr_);
+            obsEv_.abort = true;
+            return {img_.marks.abort, false, false};
+        }
+        uint32_t size = row.op.arg ? row.op.arg : curSize_;
+        auto r = memsys_.write(pa, size, mdr_, now_);
+        memDone_ = true;
+        if (r.stallCycles > 0) {
+            stallRemaining_ = r.stallCycles - 1;
+            pendingComplete_ = true;
+            return {upc_, true, false};
+        }
+    }
+    pendingComplete_ = false;
+    obsEv_.memWrite = true;
+    memDone_ = false;
+    memSuppressed_ = false;
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxOperandAddrDisp(const ucode::DecodedRow &row)
+{
+    Opnd &o = opnd_[curSpecIdx_];
+    o.kind = Opnd::Kind::Addr;
+    o.addr = taddr_;
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxNopSpecDispatch(const ucode::DecodedRow &row)
+{
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxExecNext(const ucode::DecodedRow &row)
+{
+    execMain();
+    ++upc_;
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxExecStepNext(const ucode::DecodedRow &row)
+{
+    (void)execStepPre(row.op.arg);
+    ++upc_;
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxLoopDecJif(const ucode::DecodedRow &row)
+{
+    if (loopCount_ > 0)
+        --loopCount_;
+    flag_ = loopCount_ > 0;
+    upc_ = flag_ ? row.op.target : static_cast<UAddr>(upc_ + 1);
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxBranchDisp(const ucode::DecodedRow &row)
+{
+    uint32_t need = branchDispNeed();
+    CycleOut out;
+    if (!ibGate(need, img_.marks.ibStallBdisp, out))
+        return out;
+    uint32_t raw = ibox_.peek(0);
+    if (need == 2)
+        raw |= static_cast<uint32_t>(ibox_.peek(1)) << 8;
+    branchDisp_ = sext(raw, static_cast<int>(8 * need));
+    ibox_.consume(need);
+    pc_ += need;
+    target_ = pc_ + static_cast<uint32_t>(branchDisp_);
+    ++upc_;
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxTakeBranchDecode(const ucode::DecodedRow &row)
+{
+    pc_ = target_;
+    ibox_.redirect(pc_);
+    upc_ = endInstruction();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxExecSpecDispatch(const ucode::DecodedRow &row)
+{
+    execMain();
+    seqSpecDispatch();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxExecBdispCond(const ucode::DecodedRow &row)
+{
+    uint32_t need = branchDispNeed();
+    CycleOut out;
+    if (!ibGate(need, img_.marks.ibStallBdisp, out))
+        return out;
+    uint32_t raw = ibox_.peek(0);
+    if (need == 2)
+        raw |= static_cast<uint32_t>(ibox_.peek(1)) << 8;
+    branchDisp_ = sext(raw, static_cast<int>(8 * need));
+    ibox_.consume(need);
+    pc_ += need;
+    execMain();
+    upc_ = flag_ ? static_cast<UAddr>(upc_ + 1) : endInstruction();
+    return {row.self, false, halted_};
+}
+
+CycleOut
+Ebox::hxBranchTargetNext(const ucode::DecodedRow &row)
+{
+    target_ = pc_ + static_cast<uint32_t>(branchDisp_);
+    ++upc_;
+    return {row.self, false, halted_};
 }
 
 // --------------------------------------------------------------------------
@@ -1403,6 +1846,13 @@ Ebox::deserialize(ByteReader &r)
     target_ = r.u32();
 
     instructions_ = r.u64();
+
+    // Decoded rows and micro-trace links are derived state, never part
+    // of the snapshot: re-derive them so a restore can never run on a
+    // stale decode (e.g. a registry entry that lapsed between save and
+    // restore, or a restore into a machine built around an image
+    // override).
+    rebindDecoded();
 }
 
 } // namespace upc780::cpu

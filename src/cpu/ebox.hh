@@ -32,6 +32,7 @@
 #include "mmu/tb.hh"
 #include "obs/counters.hh"
 #include "ucode/controlstore.hh"
+#include "ucode/decoded.hh"
 
 namespace upc780::fault
 {
@@ -52,6 +53,14 @@ struct CycleOut
     ucode::UAddr upc = 0;  //!< control-store address of this cycle
     bool stalled = false;  //!< read- or write-stalled cycle
     bool halted = false;
+    /**
+     * The cycle was an IB-starved stall: the same microinstruction (or
+     * pending dispatch) retried and failed an instruction-buffer gate
+     * without changing any EBOX state. While the IBox state also does
+     * not change, every subsequent cycle is bit-identical — the
+     * machine's batched executor uses this to fast-forward such runs.
+     */
+    bool ibStalled = false;
 };
 
 /**
@@ -78,13 +87,79 @@ class Ebox
 {
   public:
     Ebox(const ucode::MicrocodeImage &image, mem::MemorySubsystem &memsys,
-         mmu::TranslationBuffer &tb, IBox &ibox);
+         mmu::TranslationBuffer &tb, IBox &ibox,
+         ucode::DispatchMode mode = ucode::dispatchMode());
 
     /** Reset to begin execution at @p pc. */
     void reset(VAddr pc, bool map_enabled);
 
     /** Advance one machine cycle. */
     CycleOut cycle(uint64_t now);
+
+    /** How this EBOX dispatches microinstructions. */
+    ucode::DispatchMode dispatchMode() const
+    {
+        return threaded_ ? ucode::DispatchMode::Threaded
+                         : ucode::DispatchMode::Switch;
+    }
+
+    /**
+     * Micro-trace cache probe: the number of consecutive pure-padding
+     * cycles (nop datapath, no memory, no IB pull, sequential) that
+     * can be executed from the current micro-PC with no per-cycle
+     * dispatch. Zero whenever the EBOX is not in a clean running state
+     * (halted, stalled, trapping, dispatch-pending, fault injection
+     * attached) or the dispatcher is the legacy switch reference.
+     */
+    uint32_t padRun() const
+    {
+        if (!threaded_ || halted_ || stallRemaining_ > 0 ||
+            trapEntryPending_ || pendDispatch_ || pendingComplete_ ||
+            fault_ != nullptr)
+            return 0;
+        return rows_[upc_].runLen;
+    }
+
+    /**
+     * Execute one cycle of a pad superblock previously validated by
+     * padRun(). Equivalent to cycle() for such a word, minus the obs
+     * classification (the caller counts the uop cycle itself).
+     */
+    CycleOut padCycle()
+    {
+        ucode::UAddr a = upc_;
+        ++upc_;
+        return {a, false, false};
+    }
+
+    /**
+     * Execute @p n pad cycles at once (n <= padRun()). A pad word's
+     * only effect is advancing the micro-PC, so this is n padCycle()
+     * calls; the caller is responsible for the per-cycle machine
+     * plumbing those cycles would otherwise see (valid only when that
+     * plumbing is provably no-op, e.g. a quiescent IBox and no
+     * probes/devices).
+     */
+    void padSkip(uint32_t n) { upc_ = static_cast<ucode::UAddr>(upc_ + n); }
+
+    /**
+     * Remaining read/write stall cycles: cycles the EBOX would spend
+     * purely decrementing its stall counter (reporting the stalled
+     * micro-address each time). Zero under the legacy switch
+     * dispatcher, which stays a pristine per-cycle reference.
+     */
+    uint64_t stallRun() const
+    {
+        return threaded_ && !halted_ ? stallRemaining_ : 0;
+    }
+
+    /**
+     * Absorb @p n stall cycles at once (n <= stallRun()). Equivalent
+     * to n stalled cycle() calls minus the obs classification, which
+     * the caller batches; valid only when the per-cycle machine
+     * plumbing is provably no-op for those cycles.
+     */
+    void stallSkip(uint64_t n) { stallRemaining_ -= n; }
 
     // ----- architectural state ------------------------------------------
     uint32_t &gpr(unsigned i) { return gpr_[i]; }
@@ -216,11 +291,49 @@ class Ebox
      */
     CycleOut cycleInner(uint64_t now);
     CycleOut runCycle(uint64_t now);
+    CycleOut runCycleCore(uint64_t now);
     bool ibSatisfied(const ucode::MicroOp &op, uint32_t &need) const;
     ucode::UAddr ibStallAddrFor(const ucode::MicroOp &op) const;
     void consumeIb(const ucode::MicroOp &op);
     void completeUop(const ucode::MicroOp &op);
     void sequence(const ucode::MicroOp &op);
+
+    // ----- threaded dispatch over the decoded control store ---------------
+    /** runCycle twin driving the fused handlers of decoded rows. */
+    CycleOut runCycleDecoded(uint64_t now);
+    /** Gate on @p need IB bytes; false fills @p out with the stall row. */
+    bool ibGate(uint32_t need, ucode::UAddr stall_addr, CycleOut &out);
+    /** Stall row for the current specifier position (spec1 vs 2-6). */
+    ucode::UAddr specStallAddr() const;
+    /** Encoded bytes of a branch displacement for the current opcode. */
+    uint32_t branchDispNeed() const;
+    /** Seq::SpecDispatch: advance upc_ or latch a pending dispatch. */
+    void seqSpecDispatch();
+    /** Ib::DecodeOp: consume the opcode byte and reset per-insn state. */
+    void consumeDecodeOp();
+    /** (Re)derive the decoded-image binding from img_ and the mode. */
+    void rebindDecoded();
+
+    // Fused straight-line handlers, one per specialized ucode::Hx.
+    // Each is the legacy runCycleCore body partially evaluated for its
+    // row's exact (dp, mem, ib, seq) combination; the dual-dispatch
+    // differential suite pins the equivalence.
+    CycleOut hxPad(const ucode::DecodedRow &row);
+    CycleOut hxDecode(const ucode::DecodedRow &row);
+    CycleOut hxSpecHead(const ucode::DecodedRow &row);
+    CycleOut hxSpecOperand(const ucode::DecodedRow &row);
+    CycleOut hxOperandMdrRead(const ucode::DecodedRow &row);
+    CycleOut hxWriteResultSpec(const ucode::DecodedRow &row);
+    CycleOut hxOperandAddrDisp(const ucode::DecodedRow &row);
+    CycleOut hxNopSpecDispatch(const ucode::DecodedRow &row);
+    CycleOut hxExecNext(const ucode::DecodedRow &row);
+    CycleOut hxExecStepNext(const ucode::DecodedRow &row);
+    CycleOut hxLoopDecJif(const ucode::DecodedRow &row);
+    CycleOut hxBranchDisp(const ucode::DecodedRow &row);
+    CycleOut hxTakeBranchDecode(const ucode::DecodedRow &row);
+    CycleOut hxExecSpecDispatch(const ucode::DecodedRow &row);
+    CycleOut hxExecBdispCond(const ucode::DecodedRow &row);
+    CycleOut hxBranchTargetNext(const ucode::DecodedRow &row);
 
     /** dp execution split around the memory function. */
     bool dpPre(const ucode::MicroOp &op);   //!< returns do-memory
@@ -265,6 +378,13 @@ class Ebox
 
     // ----- wiring ---------------------------------------------------------
     const ucode::MicrocodeImage &img_;
+    // Decoded twin of img_ (threaded dispatch only). Never serialized:
+    // rebindDecoded() re-derives it at construction and on restore, so
+    // a snapshot restored under either dispatch mode can never observe
+    // a stale decode or trace-cache link.
+    std::shared_ptr<const ucode::DecodedImage> dimg_;
+    const ucode::DecodedRow *rows_ = nullptr;
+    bool threaded_ = false;
     mem::MemorySubsystem &memsys_;
     mmu::TranslationBuffer &tb_;
     IBox &ibox_;

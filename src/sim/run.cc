@@ -81,7 +81,11 @@ configHash(const ExperimentConfig &cfg, const wkl::WorkloadProfile &p)
     // canonical byte stream and hashed. Deliberately absent:
     // cfg.fault.cycleInjections, cfg.checkpoint (cadence, crash knob,
     // retries), and cfg.cancel — none of them change what a restored
-    // machine *is*, only what the harness does around it.
+    // machine *is*, only what the harness does around it. Also absent:
+    // cfg.machine.dispatch — both dispatchers compute the identical
+    // architected-state trajectory (the dual-dispatch differential
+    // suite proves it), so a snapshot taken under one resumes under
+    // the other.
     ByteWriter w;
 
     const cpu::MachineConfig &m = cfg.machine;
@@ -419,6 +423,33 @@ WorkloadRun::loopTop(const char *where)
     }
 }
 
+uint64_t
+WorkloadRun::batchBudget() const
+{
+    // 4096 cycles ≈ the liveness stride: long enough to amortize the
+    // batch plumbing, short enough that cancellation and the watchdog
+    // stay responsive.
+    constexpr uint64_t MaxBatch = 4096;
+    const uint64_t now = machine_->cycles();
+    uint64_t next = now + MaxBatch;
+    auto cap = [&](uint64_t c) {
+        if (c > now && c < next)
+            next = c;
+    };
+    if (cfg_.checkpoint.enabled()) {
+        if (cfg_.checkpoint.everyCycles)
+            cap(periodicNext_);
+        if (atIdx_ < atCycles_.size())
+            cap(atCycles_[atIdx_]);
+    }
+    if (attempt_ < cfg_.checkpoint.simulatedCrashCycles.size())
+        cap(cfg_.checkpoint.simulatedCrashCycles[attempt_]);
+    if (injectIdx_ < injections_.size())
+        cap(injections_[injectIdx_].cycle);
+    cap(livenessCheckAt_);
+    return next - now;
+}
+
 void
 WorkloadRun::saveCheckpoint()
 {
@@ -638,12 +669,20 @@ WorkloadRun::beginMeasurement()
 WorkloadResult
 WorkloadRun::run()
 {
+    // Both loops advance the machine through Vax780::runBatch with
+    // stop_at_instruction set: the loop conditions below can only
+    // change at instruction-retire cycles, every cycle-scheduled
+    // trigger is a batch boundary (batchBudget), and pads batch through
+    // the micro-trace cache — so the trajectory is bit-identical to the
+    // historical one-tick-per-iteration loop while the harness runs
+    // per retire/trigger instead of per cycle.
     if (phase_ == Phase::Warmup) {
         obs::ScopedTimer t(host_, obs::Phase::Warmup);
         while (machine_->ebox().instructions() <
                cfg_.warmupInstructions) {
             loopTop("warm-up");
-            if (!machine_->tick())
+            machine_->runBatch(batchBudget(), true);
+            if (machine_->ebox().halted())
                 sim_throw(GuestError, "machine halted during warm-up");
             if (machine_->cycles() > maxCycles_)
                 sim_throw(WatchdogError,
@@ -659,7 +698,8 @@ WorkloadRun::run()
         while (monitor_.histogram().count(decodeAddr_) <
                cfg_.instructionsPerWorkload) {
             loopTop("measurement");
-            if (!machine_->tick())
+            machine_->runBatch(batchBudget(), true);
+            if (machine_->ebox().halted())
                 sim_throw(GuestError,
                           "machine halted during measurement");
             if (machine_->cycles() - cyclesAtStart_ > maxCycles_) {

@@ -114,6 +114,14 @@ class WorkloadRun
 
     /** Per-iteration preamble: checkpoint, chaos crash, injections. */
     void loopTop(const char *where);
+    /**
+     * Cycle budget for one Vax780::runBatch call: the distance to the
+     * nearest cycle-scheduled trigger (checkpoint, chaos crash, fault
+     * injection, liveness probe), capped so watchdog/cancel latency
+     * stays bounded. Every trigger cycle lands exactly on a loopTop,
+     * which keeps batched runs bit-identical to tick()-stepped ones.
+     */
+    uint64_t batchBudget() const;
     void saveCheckpoint();
     void beginMeasurement();
     void checkStuck(const char *where);

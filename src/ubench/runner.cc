@@ -35,6 +35,10 @@ configFor(const Kernel &k, const RunOverrides &ov)
         mc.mem.sbi.readLatency = uint32_t(ov.sbiReadLatency);
     if (ov.sbiWriteLatency >= 0)
         mc.mem.sbi.writeLatency = uint32_t(ov.sbiWriteLatency);
+    if (ov.dispatch == 0)
+        mc.dispatch = cpu::MachineConfig::Dispatch::Switch;
+    else if (ov.dispatch == 1)
+        mc.dispatch = cpu::MachineConfig::Dispatch::Threaded;
     return mc;
 }
 

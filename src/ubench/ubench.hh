@@ -192,6 +192,9 @@ struct RunOverrides
 {
     int sbiReadLatency = -1;
     int sbiWriteLatency = -1;
+    /** EBOX dispatch: -1 process default, 0 switch, 1 threaded. The
+     *  dual-dispatch differential tests run every kernel both ways. */
+    int dispatch = -1;
 };
 
 /** One full run of a kernel on the real machine. */

@@ -1,0 +1,281 @@
+#include "ucode/decoded.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "ucode/controlstore.hh"
+
+namespace upc780::ucode
+{
+
+DispatchMode
+dispatchMode()
+{
+#ifndef UPC780_DISPATCH_DEFAULT_THREADED
+#define UPC780_DISPATCH_DEFAULT_THREADED 1
+#endif
+    static const DispatchMode mode = [] {
+        DispatchMode m = UPC780_DISPATCH_DEFAULT_THREADED
+                             ? DispatchMode::Threaded
+                             : DispatchMode::Switch;
+        if (const char *env = std::getenv("UPC780_DISPATCH")) {
+            if (std::strcmp(env, "switch") == 0) {
+                m = DispatchMode::Switch;
+            } else if (std::strcmp(env, "threaded") == 0) {
+                m = DispatchMode::Threaded;
+            } else if (*env) {
+                warn("UPC780_DISPATCH='%s' is not 'threaded' or "
+                     "'switch'; using %s",
+                     env, std::string(dispatchModeName(m)).c_str());
+            }
+        }
+        return m;
+    }();
+    return mode;
+}
+
+std::string_view
+dispatchModeName(DispatchMode m)
+{
+    return m == DispatchMode::Threaded ? "threaded" : "switch";
+}
+
+std::string_view
+hxName(Hx h)
+{
+    switch (h) {
+      case Hx::Generic:
+        return "generic";
+      case Hx::Pad:
+        return "pad";
+      case Hx::Decode:
+        return "decode";
+      case Hx::SpecHead:
+        return "spec-head";
+      case Hx::SpecOperand:
+        return "spec-operand";
+      case Hx::OperandMdrRead:
+        return "operand-mdr-read";
+      case Hx::WriteResultSpec:
+        return "write-result";
+      case Hx::OperandAddrDisp:
+        return "operand-addr";
+      case Hx::NopSpecDispatch:
+        return "nop-specdisp";
+      case Hx::ExecNext:
+        return "exec-next";
+      case Hx::ExecStepNext:
+        return "exec-step-next";
+      case Hx::LoopDecJif:
+        return "loopdec-jif";
+      case Hx::BranchDisp:
+        return "branch-disp";
+      case Hx::TakeBranchDecode:
+        return "take-branch-decode";
+      case Hx::ExecSpecDispatch:
+        return "exec-specdisp";
+      case Hx::ExecBdispCond:
+        return "exec-bdisp-cond";
+      case Hx::BranchTargetNext:
+        return "branch-target";
+      default:
+        return "?";
+    }
+}
+
+Hx
+classifyUop(const MicroOp &op)
+{
+    // Handlers with a memory function or an IB pull are specialized
+    // only for the exact field combinations their straight-line bodies
+    // implement; anything else is Generic by construction.
+    if (op.mem == Mem::None && op.ib == Ib::None) {
+        switch (op.dp) {
+          case Dp::Nop:
+            if (op.seq == Seq::Next)
+                return Hx::Pad;
+            if (op.seq == Seq::SpecDispatch)
+                return Hx::NopSpecDispatch;
+            return Hx::Generic;
+          case Dp::OperandAddr:
+            return op.seq == Seq::SpecDispatch ? Hx::OperandAddrDisp
+                                               : Hx::Generic;
+          case Dp::Exec:
+            if (op.seq == Seq::Next)
+                return Hx::ExecNext;
+            if (op.seq == Seq::SpecDispatch)
+                return Hx::ExecSpecDispatch;
+            return Hx::Generic;
+          case Dp::ExecStep:
+            return op.seq == Seq::Next ? Hx::ExecStepNext : Hx::Generic;
+          case Dp::LoopDec:
+            return op.seq == Seq::JumpIfFlag ? Hx::LoopDecJif
+                                             : Hx::Generic;
+          case Dp::BranchTarget:
+            return op.seq == Seq::Next ? Hx::BranchTargetNext
+                                       : Hx::Generic;
+          case Dp::TakeBranch:
+            return op.seq == Seq::DecodeNext ? Hx::TakeBranchDecode
+                                             : Hx::Generic;
+          default:
+            return Hx::Generic;
+        }
+    }
+
+    if (op.mem == Mem::None && op.ib == Ib::DecodeOp)
+        return (op.dp == Dp::Nop && op.seq == Seq::SpecDispatch)
+                   ? Hx::Decode
+                   : Hx::Generic;
+
+    if (op.mem == Mem::None && op.ib == Ib::DecodeSpec) {
+        if (op.seq == Seq::Next) {
+            switch (op.dp) {
+              case Dp::SpecLoadReg:
+              case Dp::SpecLoadRegDisp:
+              case Dp::SpecLoadAbs:
+              case Dp::SpecAutoInc:
+              case Dp::SpecAutoDec:
+                return Hx::SpecHead;
+              default:
+                return Hx::Generic;
+            }
+        }
+        if (op.seq == Seq::SpecDispatch) {
+            switch (op.dp) {
+              case Dp::OperandFromReg:
+              case Dp::OperandFromLit:
+              case Dp::OperandFromImm:
+              case Dp::RegWriteSpec:
+                return Hx::SpecOperand;
+              default:
+                return Hx::Generic;
+            }
+        }
+        return Hx::Generic;
+    }
+
+    if (op.mem == Mem::None && op.ib == Ib::GetBranchDisp) {
+        if (op.dp == Dp::BranchTarget && op.seq == Seq::Next)
+            return Hx::BranchDisp;
+        if (op.dp == Dp::Exec && op.seq == Seq::DecodeNextIfNotFlag)
+            return Hx::ExecBdispCond;
+        return Hx::Generic;
+    }
+
+    if (op.mem == Mem::ReadV && op.ib == Ib::None &&
+        op.dp == Dp::OperandFromMdr && op.seq == Seq::SpecDispatch)
+        return Hx::OperandMdrRead;
+
+    if (op.mem == Mem::WriteV && op.ib == Ib::None &&
+        op.dp == Dp::WriteResult && op.seq == Seq::SpecDispatch)
+        return Hx::WriteResultSpec;
+
+    return Hx::Generic;
+}
+
+namespace
+{
+
+void
+decodeInto(const MicrocodeImage &img, DecodedImage &d)
+{
+    d.source = &img;
+    for (uint32_t a = 0; a < ControlStoreSize; ++a) {
+        DecodedRow &r = d.rows[a];
+        r.op = img.ops[a];
+        r.h = classifyUop(r.op);
+        r.memRead =
+            r.op.mem == Mem::ReadV || r.op.mem == Mem::ReadP ? 1 : 0;
+        r.memWrite = r.op.mem == Mem::WriteV ? 1 : 0;
+        r.self = static_cast<UAddr>(a);
+    }
+    // Micro-trace superblocks: a Pad row's runLen is the number of
+    // consecutive Pad rows starting at it, computed back to front so
+    // each run is linked in one pass. The batch executor consumes a
+    // whole run per dispatch.
+    for (uint32_t a = ControlStoreSize; a-- > 0;) {
+        DecodedRow &r = d.rows[a];
+        if (r.h != Hx::Pad) {
+            r.runLen = 0;
+        } else if (a + 1 < ControlStoreSize &&
+                   d.rows[a + 1].h == Hx::Pad) {
+            r.runLen = static_cast<uint16_t>(
+                d.rows[a + 1].runLen < 0xffff ? d.rows[a + 1].runLen + 1
+                                              : 0xffff);
+        } else {
+            r.runLen = 1;
+        }
+    }
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedImage>
+decodedImage(const MicrocodeImage &img)
+{
+    static std::mutex mu;
+    static std::map<const MicrocodeImage *,
+                    std::weak_ptr<const DecodedImage>>
+        cache;
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(&img);
+    if (it != cache.end()) {
+        if (auto sp = it->second.lock())
+            return sp;
+    }
+    auto d = std::make_shared<DecodedImage>();
+    decodeInto(img, *d);
+    cache[&img] = d;
+    return d;
+}
+
+std::vector<std::string>
+verifyDecoded(const MicrocodeImage &img, const DecodedImage &dec)
+{
+    std::vector<std::string> findings;
+    auto flag = [&](uint32_t a, const std::string &what) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%04x: ", a);
+        findings.push_back(buf + what);
+    };
+
+    if (dec.source != &img)
+        findings.push_back("decoded image source does not identify "
+                           "the audited image");
+
+    for (uint32_t a = 0; a < ControlStoreSize; ++a) {
+        const DecodedRow &r = dec.rows[a];
+        const MicroOp &op = img.ops[a];
+        if (std::memcmp(&r.op, &op, sizeof(MicroOp)) != 0) {
+            flag(a, "decoded row does not copy its source word");
+            continue;
+        }
+        if (r.h != classifyUop(op))
+            flag(a, "fused handler disagrees with the word's fields");
+        if (r.self != a)
+            flag(a, "decoded row self-address mismatch");
+        bool rd = op.mem == Mem::ReadV || op.mem == Mem::ReadP;
+        bool wr = op.mem == Mem::WriteV;
+        if ((r.memRead != 0) != rd || (r.memWrite != 0) != wr)
+            flag(a, "static read/write cycle class mismatch");
+        if (r.h == Hx::Pad) {
+            uint16_t expect =
+                (a + 1 < ControlStoreSize &&
+                 dec.rows[a + 1].h == Hx::Pad &&
+                 dec.rows[a + 1].runLen < 0xffff)
+                    ? dec.rows[a + 1].runLen + 1
+                    : 1;
+            if (r.runLen != expect)
+                flag(a, "pad superblock run length mismatch");
+        } else if (r.runLen != 0) {
+            flag(a, "non-pad row carries a superblock run length");
+        }
+    }
+    return findings;
+}
+
+} // namespace upc780::ucode

@@ -8,6 +8,7 @@
 
 #include "arch/opcodes.hh"
 #include "arch/specifier.hh"
+#include "ucode/decoded.hh"
 #include "ulint/dataflow.hh"
 #include "ulint/effects.hh"
 
@@ -161,6 +162,9 @@ class Linter
         checkIbStallWords();       // UL006
         checkAnnotationKeys();     // UL007, UL008
         checkTakenEntries();       // UL007
+        checkDecodedRows();        // UL016 (before UL013-UL015: their
+                                   // verdicts are about the decoded
+                                   // matrix only if the decode is true)
         checkCycleClasses();       // UL013
         checkCounterEffects();     // UL014, UL015
         checkDataflow();           // UL010, UL011
@@ -227,6 +231,7 @@ class Linter
     void checkIbStallWords();
     void checkAnnotationKeys();
     void checkTakenEntries();
+    void checkDecodedRows();
     void checkCycleClasses();
     void checkCounterEffects();
     void checkDataflow();
@@ -707,6 +712,40 @@ counterList(CounterMask m)
 }
 
 } // namespace
+
+void
+Linter::checkDecodedRows()
+{
+    // The structural audit (verbatim copy, handler agreement, pad
+    // run-length chains) lives next to the decoder so the registry
+    // and the linter can never drift apart on what "faithful" means.
+    std::shared_ptr<const ucode::DecodedImage> dec =
+        ucode::decodedImage(img_);
+    for (const std::string &f : ucode::verifyDecoded(img_, *dec))
+        add("UL016", 0, f);
+
+    // Cross-check the decoded static cycle class against the effects
+    // map: the threaded dispatcher files read/write cycles by the
+    // row's memRead/memWrite bits, the analyzer by the effects-map
+    // class. If they disagree, the two dispatchers would split Table 8
+    // columns differently for the same trajectory.
+    for (UAddr a = 1; a < img_.allocated; ++a) {
+        if (!cfg_.reachable(a))
+            continue;
+        const ucode::DecodedRow &row = dec->rows[a];
+        const WordEffects &w = fx_.at(a);
+        const bool rd = (w.candidates & classBit(CycleClass::Read)) != 0;
+        const bool wr = (w.candidates & classBit(CycleClass::Write)) != 0;
+        if ((row.memRead != 0) != rd || (row.memWrite != 0) != wr) {
+            add("UL016", a,
+                fmt("word 0x%04x: decoded row files cycles as %s/%s "
+                    "but the effects map classes it %s/%s",
+                    a, row.memRead ? "read" : "-",
+                    row.memWrite ? "write" : "-", rd ? "read" : "-",
+                    wr ? "write" : "-"));
+        }
+    }
+}
 
 void
 Linter::checkCycleClasses()

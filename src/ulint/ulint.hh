@@ -67,6 +67,14 @@
  *  - UL015 counter-unreachable: no reachable word can generate one of
  *    the core obs counters; the dynamic cross-check for that event
  *    would be vacuously true.
+ *  - UL016 decode-divergence: the pre-decoded row matrix the threaded
+ *    dispatcher executes disagrees with the source control store — a
+ *    row is not a verbatim copy of its word, carries the wrong fused
+ *    handler or pad-superblock run length, or its static read/write
+ *    cycle class contradicts the effects map. UL013-UL015 audit cycle
+ *    classes and counter effects per word; this rule proves the
+ *    decoded matrix is a faithful image of those words, so their
+ *    verdicts carry over to what the threaded EBOX actually runs.
  *
  * All rules are Severity::Error: the shipped microprogram must be
  * clean, and a ctest case asserts that it is.

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Dual-dispatch differential suite: the threaded dispatcher (decoded
+ * rows + fused handlers + idle-leap engine) must be observationally
+ * indistinguishable from the legacy switch interpreter, which stays a
+ * pristine per-cycle reference. Every paper workload (plus the bursty
+ * RTE profile) and every microbenchmark kernel runs under both
+ * dispatchers pinned via MachineConfig::Dispatch; histograms, all
+ * event counters, hardware counters, OS statistics, trace streams and
+ * the rendered report must be byte-identical. A final lockstep test
+ * pins the idle-leap engine itself: leaping and per-cycle threaded
+ * execution must produce bit-identical serialized machine state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "common/serial.hh"
+#include "cpu/vax780.hh"
+#include "os/kernel.hh"
+#include "sim/experiment.hh"
+#include "ubench/ubench.hh"
+#include "upc/analyzer.hh"
+#include "upc/report.hh"
+#include "workload/profile.hh"
+
+using namespace upc780;
+using namespace upc780::arch;
+
+namespace
+{
+
+sim::ExperimentConfig
+configFor(cpu::MachineConfig::Dispatch d)
+{
+    sim::ExperimentConfig cfg;
+    cfg.machine.dispatch = d;
+    // Short but non-trivial: enough instructions that every workload
+    // schedules several processes, takes timer and terminal
+    // interrupts, and touches every counter class.
+    cfg.instructionsPerWorkload = 20000;
+    cfg.warmupInstructions = 4000;
+    cfg.obs.counters = true;
+    cfg.obs.traceDepth = 4096;  // compare event streams, not just sums
+    return cfg;
+}
+
+void
+expectIdentical(const sim::WorkloadResult &sw, const sim::WorkloadResult &th)
+{
+    EXPECT_EQ(sw.name, th.name);
+    EXPECT_EQ(sw.cycles, th.cycles) << sw.name;
+    EXPECT_TRUE(sw.histogram == th.histogram) << sw.name;
+
+    // All event counters, by name, so a drift identifies itself.
+    for (size_t i = 0; i < obs::NumEvents; ++i)
+        EXPECT_EQ(sw.obs.counters[i], th.obs.counters[i])
+            << sw.name << ": counter "
+            << obs::evName(static_cast<obs::Ev>(i));
+
+    EXPECT_EQ(0, std::memcmp(&sw.hw, &th.hw, sizeof(sw.hw))) << sw.name;
+
+    EXPECT_EQ(sw.osStats.contextSwitches, th.osStats.contextSwitches);
+    EXPECT_EQ(sw.osStats.reschedRequests, th.osStats.reschedRequests);
+    EXPECT_EQ(sw.osStats.forkRequests, th.osStats.forkRequests);
+    EXPECT_EQ(sw.osStats.syscalls, th.osStats.syscalls);
+    EXPECT_EQ(sw.osStats.termWrites, th.osStats.termWrites);
+    EXPECT_EQ(sw.timerInterrupts, th.timerInterrupts) << sw.name;
+    EXPECT_EQ(sw.terminalInterrupts, th.terminalInterrupts) << sw.name;
+
+    // The structured event trace: same events, same cycles, same
+    // payloads, in the same order.
+    ASSERT_EQ(sw.trace.size(), th.trace.size()) << sw.name;
+    for (size_t i = 0; i < sw.trace.size(); ++i)
+        EXPECT_EQ(0, std::memcmp(&sw.trace[i], &th.trace[i],
+                                 sizeof(obs::TraceEvent)))
+            << sw.name << ": trace event " << i;
+
+    // The rendered report (every paper table) is byte-identical.
+    upc::HistogramAnalyzer asw(sw.histogram, ucode::microcodeImage());
+    upc::HistogramAnalyzer ath(th.histogram, ucode::microcodeImage());
+    upc::ReportHwInputs hw_sw{sw.hw.ibFills, sw.hw.iReadMisses,
+                              sw.hw.dReadMisses, sw.hw.unalignedRefs,
+                              sw.osStats.softIntRequests()};
+    upc::ReportHwInputs hw_th{th.hw.ibFills, th.hw.iReadMisses,
+                              th.hw.dReadMisses, th.hw.unalignedRefs,
+                              th.osStats.softIntRequests()};
+    EXPECT_EQ(upc::writeReport(asw, hw_sw), upc::writeReport(ath, hw_th))
+        << sw.name;
+}
+
+class DispatchWorkload
+    : public ::testing::TestWithParam<wkl::WorkloadProfile>
+{};
+
+} // namespace
+
+TEST_P(DispatchWorkload, ByteIdenticalAcrossDispatchers)
+{
+    const wkl::WorkloadProfile &profile = GetParam();
+    sim::ExperimentRunner sw(configFor(cpu::MachineConfig::Dispatch::Switch));
+    sim::ExperimentRunner th(
+        configFor(cpu::MachineConfig::Dispatch::Threaded));
+    expectIdentical(sw.runWorkload(profile), th.runWorkload(profile));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, DispatchWorkload,
+    ::testing::Values(wkl::timesharing1Profile(), wkl::timesharing2Profile(),
+                      wkl::educationalProfile(), wkl::scientificProfile(),
+                      wkl::commercialProfile(), wkl::burstyNetworkProfile()),
+    [](const ::testing::TestParamInfo<wkl::WorkloadProfile> &info) {
+        std::string n = info.param.name;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+namespace
+{
+
+class DispatchKernel : public ::testing::TestWithParam<ubench::Kernel>
+{};
+
+} // namespace
+
+TEST_P(DispatchKernel, ByteIdenticalAcrossDispatchers)
+{
+    const ubench::Kernel &k = GetParam();
+    constexpr uint32_t Iters = 300;
+    ubench::RunOverrides sw, th;
+    sw.dispatch = 0;
+    th.dispatch = 1;
+    ubench::Measurement a = ubench::runKernel(k, Iters, sw);
+    ubench::Measurement b = ubench::runKernel(k, Iters, th);
+
+    EXPECT_EQ(a.machineCycles, b.machineCycles) << k.name;
+    EXPECT_EQ(a.monitorCycles, b.monitorCycles) << k.name;
+    EXPECT_EQ(a.instructions, b.instructions) << k.name;
+    EXPECT_TRUE(a.hist == b.hist) << k.name;
+    for (size_t i = 0; i < obs::NumEvents; ++i)
+        EXPECT_EQ(a.obs.counters[i], b.obs.counters[i])
+            << k.name << ": counter "
+            << obs::evName(static_cast<obs::Ev>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, DispatchKernel, ::testing::ValuesIn(ubench::allKernels()),
+    [](const ::testing::TestParamInfo<ubench::Kernel> &info) {
+        std::string n = info.param.name;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+namespace
+{
+
+os::ProcessImage
+counterProcess(uint32_t stamp)
+{
+    Assembler a(0);
+    VAddr entry = a.pc();
+    a.emit(Op::MOVL, {Operand::imm(stamp), Operand::reg(6)});
+    Label top = a.here();
+    a.emit(Op::ADDL2, {Operand::lit(1), Operand::abs(0x2000)});
+    a.emit(Op::MOVL, {Operand::reg(6), Operand::abs(0x2004)});
+    a.emitBr(Op::BRB, top);
+    auto bytes = a.finish();
+
+    os::ProcessImage img;
+    img.p0Image.assign(0x2100, 0);
+    std::copy(bytes.begin(), bytes.end(), img.p0Image.begin());
+    img.entry = entry;
+    img.p0Pages = 0x2100 / 512 + 8;
+    img.thinkMeanCycles = 50000;
+    return img;
+}
+
+std::vector<uint8_t>
+snapState(cpu::Vax780 &m)
+{
+    ByteWriter w;
+    m.serialize(w);
+    return w.take();
+}
+
+} // namespace
+
+// The idle-leap engine (pad superblocks, memory-stall windows,
+// IB-starved windows, batched device catch-up) must be bit-identical
+// to per-cycle threaded execution. Run a full OS scenario — timer +
+// terminal devices, context switches, TB misses — in lockstep on two
+// machines, one leaping and one forced per-cycle via UPC780_NOLEAP,
+// and compare complete serialized machine state at every chunk
+// boundary.
+TEST(DispatchLeap, LeapMatchesPerCycleStateExactly)
+{
+    cpu::MachineConfig mc;
+    mc.dispatch = cpu::MachineConfig::Dispatch::Threaded;
+    cpu::Vax780 leap(mc), ref(mc);
+    os::OsConfig cfg;
+    cfg.timerPeriodCycles = 2000;
+    cfg.quantumTicks = 2;
+    os::VmsLite vleap(leap, cfg), vref(ref, cfg);
+    for (os::VmsLite *v : {&vleap, &vref}) {
+        v->addProcess(counterProcess(1));
+        v->addProcess(counterProcess(2));
+        v->boot();
+    }
+
+    const uint64_t chunk = 4096;
+    for (uint64_t t = 0; t < 300000; t += chunk) {
+        setenv("UPC780_NOLEAP", "1", 1);
+        ref.run(chunk);
+        unsetenv("UPC780_NOLEAP");
+        leap.run(chunk);
+        ASSERT_EQ(snapState(ref), snapState(leap))
+            << "diverged in chunk starting at cycle " << t;
+    }
+    EXPECT_GT(vref.stats().contextSwitches, 5u);
+}

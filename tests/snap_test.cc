@@ -243,6 +243,51 @@ TEST(SnapMachine, MidpointRestoreBitExactAllWorkloads)
     }
 }
 
+TEST(SnapMachine, RestoreAcrossDispatchModes)
+{
+    // A checkpoint records architected state only — decoded rows and
+    // the micro-trace cache are derived from the (config-owned)
+    // microcode image at construction and again on restore, never
+    // serialized — so a snapshot taken mid-kernel under one
+    // dispatcher must resume byte-identically under the other, in
+    // both directions. MachineConfig::dispatch is deliberately
+    // excluded from the snapshot config hash for the same reason.
+    using Dispatch = cpu::MachineConfig::Dispatch;
+    const fs::path dir = scratchDir("snap_dispatch");
+    const auto profile = wkl::scientificProfile();
+    const std::pair<Dispatch, Dispatch> directions[] = {
+        {Dispatch::Switch, Dispatch::Threaded},
+        {Dispatch::Threaded, Dispatch::Switch},
+    };
+    int round = 0;
+    for (const auto &[taker, resumer] : directions) {
+        sim::ExperimentConfig cfg = smallConfig();
+        cfg.obs.traceDepth = 2048;
+        cfg.machine.dispatch = taker;
+        cfg.checkpoint.dir = (dir / std::to_string(round++)).string();
+        cfg.checkpoint.atCycles = {30000};
+
+        sim::WorkloadRun full(cfg, profile);
+        const sim::WorkloadResult a = full.run();
+        ASSERT_TRUE(a.ok);
+
+        const std::string ckpt = snap::latestCheckpoint(
+            cfg.checkpoint.dir, full.taskId());
+        ASSERT_FALSE(ckpt.empty());
+
+        sim::ExperimentConfig rcfg = cfg;
+        rcfg.machine.dispatch = resumer;
+        sim::WorkloadRun resumed(rcfg, profile);
+        resumed.restore(ckpt);
+        const sim::WorkloadResult b = resumed.run();
+        ASSERT_TRUE(b.ok);
+        EXPECT_GE(b.resumedFromCycle, 30000u);
+
+        EXPECT_EQ(fingerprint(a), fingerprint(b));
+        EXPECT_EQ(reportText(a), reportText(b));
+    }
+}
+
 TEST(SnapMachine, CheckpointingDoesNotPerturbTheRun)
 {
     const fs::path dir = scratchDir("snap_observer");

@@ -10,6 +10,7 @@
 
 #include "arch/opcodes.hh"
 #include "ucode/controlstore.hh"
+#include "ucode/decoded.hh"
 #include "ucode/uasm.hh"
 
 using namespace upc780;
@@ -259,4 +260,125 @@ TEST(Microprogram, NoFpaVariantSharesLayoutButCostsMore)
             EXPECT_NE(sw.execEntry[b], 0u) << b;
         }
     }
+}
+
+// ----- pre-decoded control store ---------------------------------------
+
+TEST(DecodedStore, ClassifierFusesExactFieldCombinations)
+{
+    // Each fused handler accepts only the (dp, mem, ib, seq)
+    // combination its straight-line body implements; one field off
+    // must fall back to the always-correct Generic interpreter.
+    EXPECT_EQ(classifyUop(uop(Dp::Nop)), Hx::Pad);
+    EXPECT_EQ(classifyUop(uop(Dp::Nop, Mem::None, Ib::None,
+                              Seq::SpecDispatch)),
+              Hx::NopSpecDispatch);
+    EXPECT_EQ(classifyUop(uop(Dp::Exec)), Hx::ExecNext);
+    EXPECT_EQ(classifyUop(uop(Dp::Exec, Mem::None, Ib::None,
+                              Seq::SpecDispatch)),
+              Hx::ExecSpecDispatch);
+    EXPECT_EQ(classifyUop(uop(Dp::ExecStep)), Hx::ExecStepNext);
+    EXPECT_EQ(classifyUop(uop(Dp::BranchTarget)), Hx::BranchTargetNext);
+    EXPECT_EQ(classifyUop(uop(Dp::TakeBranch, Mem::None, Ib::None,
+                              Seq::DecodeNext)),
+              Hx::TakeBranchDecode);
+    EXPECT_EQ(classifyUop(uop(Dp::LoopDec, Mem::None, Ib::None,
+                              Seq::JumpIfFlag)),
+              Hx::LoopDecJif);
+    EXPECT_EQ(classifyUop(uop(Dp::Nop, Mem::None, Ib::DecodeOp,
+                              Seq::SpecDispatch)),
+              Hx::Decode);
+    EXPECT_EQ(classifyUop(uop(Dp::BranchTarget, Mem::None,
+                              Ib::GetBranchDisp)),
+              Hx::BranchDisp);
+    EXPECT_EQ(classifyUop(uop(Dp::Exec, Mem::None, Ib::GetBranchDisp,
+                              Seq::DecodeNextIfNotFlag)),
+              Hx::ExecBdispCond);
+    EXPECT_EQ(classifyUop(uop(Dp::OperandFromMdr, Mem::ReadV, Ib::None,
+                              Seq::SpecDispatch)),
+              Hx::OperandMdrRead);
+
+    // Off-by-one-field cases must not be fused.
+    EXPECT_EQ(classifyUop(uop(Dp::Nop, Mem::None, Ib::None, Seq::Jump)),
+              Hx::Generic);
+    EXPECT_EQ(classifyUop(uop(Dp::Exec, Mem::ReadV)), Hx::Generic);
+    EXPECT_EQ(classifyUop(uop(Dp::TakeBranch)), Hx::Generic);
+    EXPECT_EQ(classifyUop(uop(Dp::Exec, Mem::None, Ib::GetBranchDisp)),
+              Hx::Generic);
+}
+
+TEST(DecodedStore, RegistrySharesOneDecodePerImage)
+{
+    auto a = decodedImage(microcodeImage());
+    auto b = decodedImage(microcodeImage());
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->source, &microcodeImage());
+    auto c = decodedImage(microcodeImageNoFpa());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(c->source, &microcodeImageNoFpa());
+}
+
+TEST(DecodedStore, PadRunLengthsChainThroughSuperblocks)
+{
+    auto dec = decodedImage(microcodeImage());
+    bool sawRun = false;
+    for (uint32_t a = 1; a < microcodeImage().allocated; ++a) {
+        const DecodedRow &r = dec->rows[a];
+        if (r.h != Hx::Pad) {
+            EXPECT_EQ(r.runLen, 0u) << "addr " << a;
+            continue;
+        }
+        // runLen counts this pad plus every consecutive pad after it.
+        uint16_t expect = 1;
+        if (a + 1 < ControlStoreSize && dec->rows[a + 1].h == Hx::Pad)
+            expect = uint16_t(dec->rows[a + 1].runLen + 1);
+        EXPECT_EQ(r.runLen, expect) << "addr " << a;
+        if (r.runLen > 1)
+            sawRun = true;
+    }
+    // The shipped image must actually contain multi-word pad runs, or
+    // the micro-trace cache would never batch anything.
+    EXPECT_TRUE(sawRun);
+}
+
+TEST(DecodedStore, VerifyAcceptsShippedImagesAndRejectsCorruption)
+{
+    const MicrocodeImage &img = microcodeImage();
+    auto dec = decodedImage(img);
+    EXPECT_TRUE(verifyDecoded(img, *dec).empty());
+    EXPECT_TRUE(verifyDecoded(microcodeImageNoFpa(),
+                              *decodedImage(microcodeImageNoFpa()))
+                    .empty());
+
+    // Corrupt one aspect at a time on a private copy; each mutation
+    // must produce at least one finding.
+    DecodedImage bad = *dec;
+    bad.rows[img.marks.decode].op.seq = Seq::Jump;
+    EXPECT_FALSE(verifyDecoded(img, bad).empty()) << "mutated op";
+
+    bad = *dec;
+    bad.rows[img.marks.decode].h = Hx::Pad;
+    EXPECT_FALSE(verifyDecoded(img, bad).empty()) << "wrong handler";
+
+    bad = *dec;
+    bad.rows[img.marks.decode].self = 0;
+    EXPECT_FALSE(verifyDecoded(img, bad).empty()) << "wrong self";
+
+    bad = *dec;
+    bad.rows[img.marks.decode].memRead = 1;
+    EXPECT_FALSE(verifyDecoded(img, bad).empty()) << "wrong class";
+
+    bad = *dec;
+    for (uint32_t a = 1; a < img.allocated; ++a) {
+        if (bad.rows[a].h == Hx::Pad && bad.rows[a].runLen > 1) {
+            bad.rows[a].runLen = 1;
+            EXPECT_FALSE(verifyDecoded(img, bad).empty())
+                << "broken run chain";
+            break;
+        }
+    }
+
+    bad = *dec;
+    bad.source = nullptr;
+    EXPECT_FALSE(verifyDecoded(img, bad).empty()) << "wrong source";
 }

@@ -394,6 +394,26 @@ TEST(UlintSeeded, MissingCoreEventCoverageFiresUL015)
     EXPECT_GE(r.countRule("UL015"), 1u) << r.toText();
 }
 
+// UL016 cannot be seeded through lint(): the linter derives the
+// decoded matrix itself, so a divergence only arises if the decoder
+// or the effects map drifts — exactly the regression the rule guards.
+// What we can prove here: the audit runs on every linted image
+// (shipped, no-FPA, and defective copies) without cascading, so the
+// UL013-UL015 verdicts always describe a verified decode.
+TEST(UlintDecoded, DecodeStaysFaithfulEvenOnDefectiveImages)
+{
+    MicrocodeImage img = copyShipped();
+    // Plant a UL005-class defect (memory function on the abort word):
+    // the decoded matrix must still mirror the defective image
+    // faithfully — UL016 audits decode fidelity, not word sanity.
+    img.ops[img.marks.abort].mem = ucode::Mem::WriteV;
+
+    Report r = lint(img);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.countRule("UL005"), 1u) << r.toText();
+    EXPECT_EQ(r.countRule("UL016"), 0u) << r.toText();
+}
+
 TEST(UlintReport, TextAndJsonCarryRuleIds)
 {
     MicrocodeImage img = copyShipped();

@@ -4,18 +4,20 @@
  *
  * Runs every ulint rule against the shipped microprogram (or the
  * no-FPA variant) and prints the findings, or emits the static
- * attribution matrix the runtime audit checks against. Exits 0 when
- * the image is clean, 1 when any Error-severity finding fired, 2 on
- * usage errors, so build scripts and CI can gate on it.
+ * attribution matrix the runtime audit checks against, or the
+ * pre-decoded row matrix the threaded dispatcher executes. Exits 0
+ * when the image is clean, 1 when any Error-severity finding fired, 2
+ * on usage errors, so build scripts and CI can gate on it.
  *
- * Usage: ulint [--report|--json|--sarif|--attribution] [--no-fpa]
- *              [--quiet]
+ * Usage: ulint [--report|--json|--sarif|--attribution|--decoded]
+ *              [--no-fpa] [--quiet]
  */
 
 #include <cstdio>
 #include <cstring>
 
 #include "ucode/controlstore.hh"
+#include "ucode/decoded.hh"
 #include "ulint/cfg.hh"
 #include "ulint/effects.hh"
 #include "ulint/ulint.hh"
@@ -27,8 +29,9 @@ int
 usage(const char *argv0)
 {
     fprintf(stderr,
-            "usage: %s [--report|--json|--sarif|--attribution] "
-            "[--no-fpa] [--quiet]\n"
+            "usage: %s [--report|--json|--sarif|--attribution|"
+            "--decoded]\n"
+            "          [--no-fpa] [--quiet]\n"
             "  --report       print the full findings report "
             "(default)\n"
             "  --json         print the report as JSON\n"
@@ -38,6 +41,12 @@ usage(const char *argv0)
             "(word ->\n"
             "                 cycle class, stall capability, allowed "
             "counters)\n"
+            "  --decoded      print the pre-decoded row matrix the "
+            "threaded\n"
+            "                 dispatcher executes (word -> fused "
+            "handler,\n"
+            "                 read/write class, pad-superblock run "
+            "length)\n"
             "  --no-fpa       lint the microprogram assembled without "
             "the FPA\n"
             "  --quiet        print nothing; exit status only\n"
@@ -55,7 +64,40 @@ enum class Output
     Json,
     Sarif,
     Attribution,
+    Decoded,
 };
+
+/**
+ * The decoded-row matrix as JSON: one entry per allocated word with
+ * its fused handler, static read/write cycle class, and (for Pad
+ * rows) the micro-trace superblock run length. This is exactly what
+ * the threaded dispatcher executes, so downstream audits can diff it
+ * against the attribution matrix without linking the simulator.
+ */
+std::string
+decodedJson(const upc780::ucode::MicrocodeImage &img)
+{
+    using namespace upc780;
+    std::shared_ptr<const ucode::DecodedImage> dec =
+        ucode::decodedImage(img);
+    std::string out = "{\n  \"rows\": [";
+    bool first = true;
+    for (uint32_t a = 1; a < img.allocated; ++a) {
+        const ucode::DecodedRow &r = dec->rows[a];
+        char buf[160];
+        snprintf(buf, sizeof(buf),
+                 "%s\n    {\"addr\": %u, \"handler\": \"%s\", "
+                 "\"memRead\": %s, \"memWrite\": %s, \"runLen\": %u}",
+                 first ? "" : ",", a,
+                 std::string(ucode::hxName(r.h)).c_str(),
+                 r.memRead ? "true" : "false",
+                 r.memWrite ? "true" : "false", unsigned(r.runLen));
+        out += buf;
+        first = false;
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
 
 } // namespace
 
@@ -75,6 +117,8 @@ main(int argc, char **argv)
             out = Output::Sarif;
         } else if (!strcmp(argv[i], "--attribution")) {
             out = Output::Attribution;
+        } else if (!strcmp(argv[i], "--decoded")) {
+            out = Output::Decoded;
         } else if (!strcmp(argv[i], "--no-fpa")) {
             no_fpa = true;
         } else if (!strcmp(argv[i], "--quiet")) {
@@ -107,6 +151,9 @@ main(int argc, char **argv)
             fputs(fx.toJson(cfg).c_str(), stdout);
             break;
           }
+          case Output::Decoded:
+            fputs(decodedJson(img).c_str(), stdout);
+            break;
         }
     }
     return report.clean() ? 0 : 1;
