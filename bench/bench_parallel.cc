@@ -242,9 +242,16 @@ main()
                      "{\n  \"bench\": \"parallel\",\n"
                      "  \"library_build_type\": \"%s\",\n"
                      "  \"instructions_per_workload\": %llu,\n"
-                     "  \"hardware_threads\": %u,\n  \"scaling\": [",
+                     "  \"hardware_threads\": %u,\n"
+                     "  \"hw_concurrency\": %u,\n  \"jobs\": [",
                      build_type,
-                     static_cast<unsigned long long>(instr), hw);
+                     static_cast<unsigned long long>(instr), hw, hw);
+        // The worker counts actually measured and the host's core
+        // count together make the scaling figures interpretable when
+        // the baseline was produced on a different machine.
+        for (size_t i = 0; i < sweep.size(); ++i)
+            std::fprintf(f, "%s%u", i ? ", " : "", sweep[i]);
+        std::fprintf(f, "],\n  \"scaling\": [");
         for (size_t i = 0; i < rows.size(); ++i)
             std::fprintf(f,
                          "%s\n    {\"jobs\": %u, \"wall_s\": %.6f, "

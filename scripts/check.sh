@@ -35,7 +35,7 @@ echo "== build =="
 cmake --build "$BUILD" -j "$JOBS"
 
 echo "== test =="
-ctest --test-dir "$BUILD" --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD" --output-on-failure
 
 echo "== ulint =="
 "$BUILD/tools/ulint" --report
@@ -59,10 +59,10 @@ else
 fi
 
 echo "== parallel + golden labels =="
-ctest --test-dir "$BUILD" -L "parallel|golden" --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD" -L "parallel|golden" --output-on-failure
 
 echo "== ubench ground-truth suite =="
-ctest --test-dir "$BUILD" -L ubench --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD" -L ubench --output-on-failure
 # The latency-table tool's machine-readable output must stay valid
 # JSON (the ctest smoke covers schema; this guards the CLI surface).
 if command -v python3 >/dev/null 2>&1
@@ -98,10 +98,45 @@ cmp "$BUILD/report-serial.txt" "$BUILD/report-ckpt-jobs4.txt"
 echo "identical"
 
 echo "== snap-labeled tests =="
-ctest --test-dir "$BUILD" -L snap --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD" -L snap --output-on-failure
 
 echo "== dispatch differential suite (switch vs threaded) =="
-ctest --test-dir "$BUILD" -L dispatch --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD" -L dispatch --output-on-failure
+
+echo "== svc-labeled tests (daemon + cache + shutdown) =="
+ctest --no-tests=error --test-dir "$BUILD" -L svc --output-on-failure
+
+echo "== upcd/upcc end-to-end smoke (cache hit byte-identical) =="
+SVC_DIR="$BUILD/svc-smoke"
+rm -rf "$SVC_DIR"
+mkdir -p "$SVC_DIR"
+SOCK="$SVC_DIR/upcd.sock"
+"$BUILD/tools/upcd" --socket "$SOCK" --cache-dir "$SVC_DIR/cache" \
+    --spool-dir "$SVC_DIR/spool" &
+UPCD_PID=$!
+# Wait (bounded) until the daemon answers a ping.
+i=0
+until "$BUILD/tools/upcc" ping --socket "$SOCK" >/dev/null 2>&1
+do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]
+    then
+        echo "error: upcd did not come up" >&2
+        kill "$UPCD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+SVC_REQ='{"workloads":"paper","instructions":3000,"warmup":600}'
+"$BUILD/tools/upcc" submit --socket "$SOCK" "$SVC_REQ" \
+    > "$SVC_DIR/reply-cold.json" 2>/dev/null
+"$BUILD/tools/upcc" submit --socket "$SOCK" "$SVC_REQ" \
+    > "$SVC_DIR/reply-hit.json" 2>/dev/null
+cmp "$SVC_DIR/reply-cold.json" "$SVC_DIR/reply-hit.json"
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$UPCD_PID"
+wait "$UPCD_PID"
+echo "replies identical; upcd drained cleanly on SIGTERM"
 
 echo "== perf trajectory (Release build-bench; BENCH_*.json at root) =="
 # The committed figures are the baseline future PRs are judged
@@ -139,7 +174,7 @@ echo "== obs-off build: golden tables identical without the layer =="
 cmake -S . -B "$BUILD-noobs" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_OBS=OFF
 cmake --build "$BUILD-noobs" -j "$JOBS"
-ctest --test-dir "$BUILD-noobs" -L golden --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD-noobs" -L golden --output-on-failure
 
 if command -v gcov >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1
 then
@@ -147,7 +182,7 @@ then
     cmake -S . -B "$BUILD-cov" -DCMAKE_BUILD_TYPE=Debug \
         -DUPC780_COVERAGE=ON
     cmake --build "$BUILD-cov" -j "$JOBS"
-    ctest --test-dir "$BUILD-cov" -L "obs|golden|lint|ubench" \
+    ctest --no-tests=error --test-dir "$BUILD-cov" -L "obs|golden|lint|ubench" \
         --output-on-failure
     python3 scripts/coverage_report.py "$BUILD-cov" --root . \
         --fail-under src/obs=90 --fail-under src/ubench=90
@@ -155,19 +190,19 @@ else
     echo "== gcov/python3 unavailable; skipping coverage report =="
 fi
 
-echo "== asan build (faults + lint + snap + ubench + dispatch tests) =="
+echo "== asan build (faults + lint + snap + ubench + dispatch + svc) =="
 cmake -S . -B "$BUILD-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=address
 cmake --build "$BUILD-asan" -j "$JOBS"
-ctest --test-dir "$BUILD-asan" -L "faults|lint|snap|ubench|dispatch" \
-    --output-on-failure
+ctest --no-tests=error --test-dir "$BUILD-asan" \
+    -L "faults|lint|snap|ubench|dispatch|svc" --output-on-failure
 
 echo "== ubsan build (lint + snap + ubench + dispatch tests) =="
 cmake -S . -B "$BUILD-ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUPC780_SANITIZE=undefined
 cmake --build "$BUILD-ubsan" -j "$JOBS"
 UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$BUILD-ubsan" -L "lint|snap|ubench|dispatch" \
+    ctest --no-tests=error --test-dir "$BUILD-ubsan" -L "lint|snap|ubench|dispatch" \
     --output-on-failure
 
 if echo 'int main(){return 0;}' | \
@@ -177,7 +212,7 @@ then
     cmake -S . -B "$BUILD-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DUPC780_SANITIZE=thread
     cmake --build "$BUILD-tsan" -j "$JOBS"
-    ctest --test-dir "$BUILD-tsan" -L parallel --output-on-failure
+    ctest --no-tests=error --test-dir "$BUILD-tsan" -L parallel --output-on-failure
 else
     echo "== tsan unavailable; skipping thread-sanitized parallel run =="
 fi

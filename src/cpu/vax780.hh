@@ -89,6 +89,14 @@ struct MachineConfig
      */
     enum class Dispatch : uint8_t { Default, Threaded, Switch };
     Dispatch dispatch = Dispatch::Default;
+
+    /**
+     * Field-wise equality (the custom image compares by identity —
+     * two configs pointing at different image objects are different
+     * machines even if the images' bytes agree; content-level
+     * equivalence is the cache key's business, see svc/cachekey.hh).
+     */
+    bool operator==(const MachineConfig &) const = default;
 };
 
 /** The composed machine. */

@@ -38,6 +38,8 @@ struct CacheConfig
     uint32_t ways = 2;
     uint32_t blockBytes = 8;
     bool enabled = true;   //!< ablation: force every access to miss
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Hardware-monitor counters on the cache (cf. Clark's cache study). */

@@ -62,6 +62,8 @@ struct MemSysConfig
     SbiConfig sbi;
     uint32_t writeBufferDepth = 1;
     uint32_t memSize = PhysicalMemory::DefaultSize;
+
+    bool operator==(const MemSysConfig &) const = default;
 };
 
 /** The composed hierarchy. */

@@ -34,6 +34,8 @@ struct SbiConfig
     uint32_t readLatency = 6;
     /** Cycles a memory write occupies the path (paper: 6). */
     uint32_t writeLatency = 6;
+
+    bool operator==(const SbiConfig &) const = default;
 };
 
 /** Counters for SBI activity. */

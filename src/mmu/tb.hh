@@ -40,6 +40,8 @@ struct TbConfig
 {
     uint32_t entriesPerHalf = 64;
     bool enabled = true;  //!< ablation: force every lookup to miss
+
+    bool operator==(const TbConfig &) const = default;
 };
 
 /** TB hardware counters plus miss-routine bookkeeping. */

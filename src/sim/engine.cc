@@ -84,6 +84,17 @@ nowNs()
         .count();
 }
 
+/** Not-ok stub for a task skipped by the cooperative stop flag. */
+WorkloadResult
+cancelledStub(const wkl::WorkloadProfile &profile)
+{
+    WorkloadResult r;
+    r.name = profile.name;
+    r.ok = false;
+    r.error = "cancelled: engine stop requested before task start";
+    return r;
+}
+
 } // namespace
 
 std::vector<WorkloadResult>
@@ -101,11 +112,20 @@ ParallelEngine::runTasks(const std::vector<wkl::WorkloadProfile> &tasks)
     // workers only ever read immutable state.
     ucode::microcodeImage();
 
+    const auto stopped = [&] {
+        return ecfg_.stop &&
+               ecfg_.stop->load(std::memory_order_relaxed);
+    };
+
     if (jobs <= 1) {
         // Degenerate pool: same per-task code path, no threads at all,
         // so a --jobs 1 run is trivially identical to the serial one.
-        for (size_t i = 0; i < tasks.size(); ++i)
-            results[i] = runOne(cfg_, tasks[i], nullptr);
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            results[i] = stopped() ? cancelledStub(tasks[i])
+                                   : runOne(cfg_, tasks[i], nullptr);
+            if (ecfg_.onTaskDone)
+                ecfg_.onTaskDone(i, results[i]);
+        }
         return results;
     }
 
@@ -120,11 +140,19 @@ ParallelEngine::runTasks(const std::vector<wkl::WorkloadProfile> &tasks)
             const size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= tasks.size())
                 break;
+            if (stopped()) {
+                results[i] = cancelledStub(tasks[i]);
+                if (ecfg_.onTaskDone)
+                    ecfg_.onTaskDone(i, results[i]);
+                continue;
+            }
             st.cancel.store(false, std::memory_order_relaxed);
             st.epoch.fetch_add(1, std::memory_order_relaxed);
             st.taskStartNs.store(nowNs(), std::memory_order_relaxed);
             results[i] = runOne(cfg_, tasks[i], &st.cancel);
             st.taskStartNs.store(-1, std::memory_order_relaxed);
+            if (ecfg_.onTaskDone)
+                ecfg_.onTaskDone(i, results[i]);
         }
     };
 

@@ -26,6 +26,9 @@
 #ifndef UPC780_SIM_ENGINE_HH
 #define UPC780_SIM_ENGINE_HH
 
+#include <atomic>
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
@@ -53,6 +56,24 @@ struct EngineConfig
      * result, exactly like a cycle-domain watchdog trip.
      */
     double taskDeadlineSeconds = 0;
+
+    /**
+     * Cooperative drain flag (optional, not owned). Checked once
+     * before each task is claimed: tasks already running finish
+     * normally, tasks not yet started become not-ok "cancelled" stub
+     * results. The flag never interrupts a running task, so every ok
+     * result an interrupted campaign does produce is a complete,
+     * deterministic one (the daemon's graceful drain builds on this).
+     */
+    const std::atomic<bool> *stop = nullptr;
+
+    /**
+     * Invoked after each task's result lands (ok or not), from the
+     * worker thread that produced it; must be thread-safe. Arguments
+     * are the task index in submission order and the finished result.
+     * Results still merge in task order regardless of callback order.
+     */
+    std::function<void(size_t, const WorkloadResult &)> onTaskDone;
 };
 
 /** Resolve an effective worker count (see EngineConfig::jobs). */

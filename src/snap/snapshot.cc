@@ -34,7 +34,8 @@ getMeta(ByteReader &r)
     SnapshotMeta m;
     const uint32_t kind = r.u32();
     if (kind != static_cast<uint32_t>(SnapshotKind::Checkpoint) &&
-        kind != static_cast<uint32_t>(SnapshotKind::Result)) {
+        kind != static_cast<uint32_t>(SnapshotKind::Result) &&
+        kind != static_cast<uint32_t>(SnapshotKind::CacheEntry)) {
         sim_throw(SnapshotError, "snapshot has unknown kind tag %u",
                   kind);
     }

@@ -59,6 +59,7 @@ enum class SnapshotKind : uint32_t
 {
     Checkpoint = 1, //!< mid-run machine state, resumable
     Result = 2,     //!< a completed WorkloadResult
+    CacheEntry = 3, //!< a daemon result-cache entry (svc/cache.hh)
 };
 
 /** Identifying metadata carried in every snapshot file. */

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * An entry maps a cache key (svc/cachekey.hh) to the verbatim bytes
+ * of a reply body. Entries are stored as snapshot-container files
+ * (snap/snapshot.hh, kind CacheEntry) under `<dir>/<k[0..1]>/<key>`,
+ * which buys the container's whole integrity ladder for free: atomic
+ * temp-file+rename writes (a crash mid-put never leaves a torn entry
+ * under a live name) and CRC-32 validation on every read (a
+ * bit-flipped entry is a typed SnapshotError, which get() converts
+ * into a miss and deletes — the cache heals by re-computing, never by
+ * serving corruption).
+ *
+ * Eviction is LRU under a byte budget. Recency is tracked in memory
+ * and persisted opportunistically via file mtimes (each hit touches
+ * its entry), so a restarted daemon rebuilds an approximate LRU order
+ * from the directory scan; approximate is fine — eviction is a
+ * performance policy, never a correctness one.
+ *
+ * Thread-safe; one instance serves every daemon worker.
+ */
+
+#ifndef UPC780_SVC_CACHE_HH
+#define UPC780_SVC_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace upc780::svc
+{
+
+/** Cache observability (all monotonic). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t puts = 0;
+    uint64_t evictions = 0;
+    uint64_t corruptDropped = 0;
+    uint64_t bytes = 0; //!< current resident payload bytes
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * Open (creating if needed) the cache at @p dir with an eviction
+     * budget of @p budgetBytes of entry-file bytes. An existing
+     * directory is indexed on construction; unreadable or foreign
+     * files are ignored. @p budgetBytes 0 means unbounded.
+     */
+    ResultCache(std::string dir, uint64_t budgetBytes);
+
+    /**
+     * Look up @p key. A hit returns the stored bytes (CRC-checked)
+     * and refreshes the entry's recency; a corrupt entry is deleted
+     * and reported as a miss.
+     */
+    std::optional<std::string> get(const std::string &key);
+
+    /**
+     * Store @p value under @p key (atomic write), then evict
+     * least-recently-used entries until the budget holds again. The
+     * just-written entry is never evicted by its own put.
+     */
+    void put(const std::string &key, const std::string &value);
+
+    CacheStats stats() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        uint64_t size = 0;
+    };
+
+    std::string pathFor(const std::string &key) const;
+    void indexExisting();
+    /** Move @p it to most-recently-used position. */
+    void touchLocked(std::list<Entry>::iterator it);
+    void evictLocked(const std::string &keep);
+    void dropLocked(std::list<Entry>::iterator it, bool corrupted);
+
+    mutable std::mutex mu_;
+    std::string dir_;
+    uint64_t budget_;
+    /** LRU order: front = most recent. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    CacheStats stats_;
+};
+
+} // namespace upc780::svc
+
+#endif // UPC780_SVC_CACHE_HH

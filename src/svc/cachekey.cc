@@ -1,0 +1,109 @@
+#include "svc/cachekey.hh"
+
+#include "common/random.hh"
+#include "common/serial.hh"
+#include "svc/sha256.hh"
+#include "ucode/controlstore.hh"
+
+namespace upc780::svc
+{
+
+std::vector<uint8_t>
+canonicalMachineBytes(const cpu::MachineConfig &m)
+{
+    ByteWriter w;
+    w.u32(m.mem.cache.sizeBytes);
+    w.u32(m.mem.cache.ways);
+    w.u32(m.mem.cache.blockBytes);
+    w.b(m.mem.cache.enabled);
+    w.u32(m.mem.sbi.readLatency);
+    w.u32(m.mem.sbi.writeLatency);
+    w.u32(m.mem.writeBufferDepth);
+    w.u32(m.mem.memSize);
+    w.u32(m.tb.entriesPerHalf);
+    w.b(m.tb.enabled);
+    w.b(m.fpa);
+    w.b(m.rmodeDecode);
+    // dispatch is excluded: both interpreters compute the identical
+    // trajectory (ctest -L dispatch), so it cannot shape a result.
+    // The image is covered separately, by content hash (see
+    // canonicalJobBytes) — a pointer has no canonical bytes.
+    return w.take();
+}
+
+namespace
+{
+
+void
+writeProfile(ByteWriter &w, const wkl::WorkloadProfile &p)
+{
+    w.str(p.name);
+    w.f64(p.weights.intLoop);
+    w.f64(p.weights.dataMove);
+    w.f64(p.weights.branchy);
+    w.f64(p.weights.callTree);
+    w.f64(p.weights.subrCalls);
+    w.f64(p.weights.stringOps);
+    w.f64(p.weights.floatKernel);
+    w.f64(p.weights.intMulDiv);
+    w.f64(p.weights.fieldOps);
+    w.f64(p.weights.bitBranches);
+    w.f64(p.weights.caseDispatch);
+    w.f64(p.weights.decimalOps);
+    w.f64(p.weights.queueOps);
+    w.f64(p.weights.sysWrite);
+    w.u32(p.users);
+    w.u32(p.sessionRepeat);
+    w.u32(p.dataPages);
+    w.u32(p.codeBlocks);
+    w.f64(p.thinkMeanCycles);
+    w.f64(p.loopIterMean);
+    w.u64(p.seed);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+canonicalJobBytes(const JobSpec &spec)
+{
+    ByteWriter w;
+    w.str("upc780.job.v1");
+    w.blob(canonicalMachineBytes(spec.machine));
+
+    // The image the machine will actually run: an explicit override,
+    // else the fpa-selected shipped image.
+    const ucode::MicrocodeImage &img =
+        spec.machine.image ? *spec.machine.image
+        : spec.machine.fpa ? ucode::microcodeImage()
+                           : ucode::microcodeImageNoFpa();
+    w.u64(ucode::imageContentHash(img));
+
+    // Workloads with their full parameters and effective base seeds.
+    const auto profiles = profilesFor(spec);
+    w.u32(static_cast<uint32_t>(spec.workloads.size()));
+    for (size_t i = 0; i < spec.workloads.size(); ++i) {
+        w.str(spec.workloads[i]);
+        writeProfile(w, profiles[i]);
+    }
+
+    // The explicit seed set: one derived seed per (replication,
+    // workload), exactly the seeds runReplicated hands each task.
+    w.u32(spec.replications);
+    for (uint32_t r = 0; r < spec.replications; ++r)
+        for (const auto &p : profiles)
+            w.u64(deriveSeed(p.seed, r));
+
+    w.u64(spec.instructions);
+    w.u64(spec.warmup);
+    w.b(spec.excludeIdle);
+    w.b(spec.report);
+    return w.take();
+}
+
+std::string
+cacheKey(const JobSpec &spec)
+{
+    return sha256Hex(canonicalJobBytes(spec));
+}
+
+} // namespace upc780::svc

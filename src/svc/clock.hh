@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Injectable wall clock for the daemon's request-timeout policy.
+ *
+ * Everything the daemon *computes* is deterministic (the determinism
+ * contract, DESIGN.md §10); wall-clock time only decides whether a
+ * queued request has waited too long to still be worth running. That
+ * decision point takes a Clock so the integration tests can drive it
+ * with a ManualClock — no sleeps, no flaky time margins: the test
+ * advances virtual time past the deadline and the very next admission
+ * check observes the expiry.
+ */
+
+#ifndef UPC780_SVC_CLOCK_HH
+#define UPC780_SVC_CLOCK_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace upc780::svc
+{
+
+/** Monotonic millisecond clock. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+    virtual uint64_t nowMs() const = 0;
+};
+
+/** The real steady clock. */
+class SystemClock : public Clock
+{
+  public:
+    uint64_t
+    nowMs() const override
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+};
+
+/** Test clock: time moves only when the test says so. */
+class ManualClock : public Clock
+{
+  public:
+    uint64_t
+    nowMs() const override
+    {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advanceMs(uint64_t ms)
+    {
+        now_.fetch_add(ms, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> now_{0};
+};
+
+} // namespace upc780::svc
+
+#endif // UPC780_SVC_CLOCK_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal JSON for the experiment daemon's wire protocol: a value
+ * type, a recursive-descent parser, and a writer.
+ *
+ * Scope is deliberately narrow — this is a request/reply codec, not a
+ * general JSON library. The parser is fully bounds-checked, throws a
+ * typed ConfigError on any malformed input (never crashes, never
+ * reads past the buffer — the admission fuzz tests feed it truncated
+ * and bit-flipped requests), caps nesting depth, and keeps every
+ * number as both a double and, when exact, a 64-bit integer so
+ * cycle-scale counts round-trip without loss.
+ *
+ * The writer emits a canonical single-line form: object members in
+ * insertion order, no insignificant whitespace, integers rendered as
+ * integers, doubles via %.17g. The daemon's determinism contract
+ * extends to the wire — the same composite serializes to the same
+ * bytes — which is what lets the result cache store reply bodies
+ * verbatim and the tests compare cold runs against cache hits with
+ * memcmp.
+ */
+
+#ifndef UPC780_SVC_JSON_HH
+#define UPC780_SVC_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace upc780::svc::json
+{
+
+class Value;
+
+using Array = std::vector<Value>;
+/** Insertion-ordered object: vector of pairs, first-key-wins lookup. */
+using Members = std::vector<std::pair<std::string, Value>>;
+
+enum class Type : uint8_t
+{
+    Null,
+    Bool,
+    Int,    //!< number that is exactly a 64-bit signed integer
+    Double, //!< any other number
+    String,
+    ArrayT,
+    Object,
+};
+
+/** One JSON value (tree-owned; copies are deep). */
+class Value
+{
+  public:
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(int64_t i) : type_(Type::Int), int_(i) {}
+    Value(uint64_t u);
+    Value(int i) : Value(int64_t{i}) {}
+    Value(double d) : type_(Type::Double), dbl_(d) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Value(const char *s) : Value(std::string(s)) {}
+    Value(Array a);
+    Value(Members m);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isInt() const { return type_ == Type::Int; }
+    bool isNumber() const { return isInt() || type_ == Type::Double; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::ArrayT; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; ConfigError on a type mismatch. */
+    bool asBool() const;
+    int64_t asInt() const;
+    uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Members &asObject() const;
+
+    /** Object member by key, or null when absent / not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Append a member (object) / element (array). */
+    void set(const std::string &key, Value v);
+    void push(Value v);
+
+    /** Canonical single-line serialization (see file comment). */
+    std::string dump() const;
+    void dumpTo(std::string &out) const;
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double dbl_ = 0;
+    std::string str_;
+    /** unique_ptr keeps the (recursive) value type incomplete-safe. */
+    std::unique_ptr<Array> arr_;
+    std::unique_ptr<Members> obj_;
+
+  public:
+    Value(const Value &o) { *this = o; }
+    Value &operator=(const Value &o);
+    Value(Value &&) = default;
+    Value &operator=(Value &&) = default;
+    ~Value() = default;
+};
+
+/** Make an empty object / array. */
+Value object();
+Value array();
+
+/**
+ * Parse one JSON document. Throws ConfigError with an offset-bearing
+ * message on any syntax error, trailing garbage, input deeper than
+ * @p maxDepth, or input larger than @p maxBytes.
+ */
+Value parse(const std::string &text, size_t maxDepth = 64,
+            size_t maxBytes = 8u << 20);
+
+/** Escape @p s as a JSON string literal (quotes included). */
+std::string quote(const std::string &s);
+
+} // namespace upc780::svc::json
+
+#endif // UPC780_SVC_JSON_HH

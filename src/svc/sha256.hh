@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), self-contained. The experiment daemon's result
+ * cache is content-addressed: the key of an entry is the SHA-256 of
+ * the canonical job preimage (see svc/cachekey.hh), so two requests
+ * that would simulate the same machine collapse to the same entry.
+ * A cryptographic digest (rather than the snapshot layer's FNV-1a
+ * fingerprints) keeps accidental collisions out of the picture even
+ * across millions of distinct configurations; nothing here defends
+ * against an adversary with write access to the cache directory.
+ */
+
+#ifndef UPC780_SVC_SHA256_HH
+#define UPC780_SVC_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upc780::svc
+{
+
+/** Streaming SHA-256: update() any number of times, then digest(). */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, size_t len);
+
+    void
+    update(const std::vector<uint8_t> &v)
+    {
+        update(v.data(), v.size());
+    }
+
+    void
+    update(const std::string &s)
+    {
+        update(s.data(), s.size());
+    }
+
+    /** Finalize and return the 32-byte digest (object left finalized;
+     *  reset() before reuse). */
+    std::array<uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string hex();
+
+  private:
+    void compress(const uint8_t block[64]);
+
+    std::array<uint32_t, 8> h_;
+    uint8_t buf_[64];
+    size_t bufLen_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** One-shot convenience: SHA-256 of @p data as lowercase hex. */
+std::string sha256Hex(const void *data, size_t len);
+
+inline std::string
+sha256Hex(const std::vector<uint8_t> &v)
+{
+    return sha256Hex(v.data(), v.size());
+}
+
+inline std::string
+sha256Hex(const std::string &s)
+{
+    return sha256Hex(s.data(), s.size());
+}
+
+} // namespace upc780::svc
+
+#endif // UPC780_SVC_SHA256_HH

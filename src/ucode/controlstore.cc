@@ -1,5 +1,8 @@
 #include "ucode/controlstore.hh"
 
+#include <map>
+#include <mutex>
+
 #include "common/logging.hh"
 
 namespace upc780::ucode
@@ -182,6 +185,64 @@ ibName(Ib i)
       case Ib::GetBranchDisp: return "brdisp";
     }
     return "?";
+}
+
+namespace
+{
+
+/** FNV-1a, local copy (ucode must not depend on the snapshot layer). */
+struct Fnv
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+uint64_t
+computeImageHash(const MicrocodeImage &img)
+{
+    Fnv f;
+    f.mix(img.allocated);
+    for (uint32_t a = 0; a < img.allocated; ++a) {
+        const MicroOp &op = img.ops[a];
+        f.mix(static_cast<uint64_t>(op.dp));
+        f.mix(static_cast<uint64_t>(op.mem));
+        f.mix(static_cast<uint64_t>(op.ib));
+        f.mix(static_cast<uint64_t>(op.seq));
+        f.mix(op.target);
+        f.mix(op.arg);
+        f.mix(static_cast<uint64_t>(img.info[a].row));
+    }
+    const Landmarks &m = img.marks;
+    for (UAddr a : {m.decode, m.ibStallDecode, m.ibStallSpec1,
+                    m.ibStallSpec26, m.ibStallBdisp, m.abort, m.tbMissD,
+                    m.tbMissI, m.intDispatch, m.machineCheck, m.halted})
+        f.mix(a);
+    return f.h;
+}
+
+} // namespace
+
+uint64_t
+imageContentHash(const MicrocodeImage &img)
+{
+    static std::mutex mu;
+    static std::map<const MicrocodeImage *, uint64_t> cache;
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(&img);
+    if (it != cache.end())
+        return it->second;
+    const uint64_t h = computeImageHash(img);
+    cache.emplace(&img, h);
+    return h;
 }
 
 std::string_view

@@ -191,6 +191,24 @@ const MicrocodeImage &microcodeImage();
  */
 const MicrocodeImage &microcodeImageNoFpa();
 
+/**
+ * Content fingerprint of a microprogram: a 64-bit FNV-1a over every
+ * allocated control word (all five micro-op fields), the static row
+ * map and the landmark set — everything that shapes what a machine
+ * running this image *does* and how its cycles are attributed. Two
+ * images with equal hashes execute identically for cache purposes;
+ * the experiment daemon folds this into its content-addressed result
+ * key, so a result computed under one image is never served for
+ * another (a defective lint-test copy hashes differently from the
+ * shipped image it was cloned from).
+ *
+ * Images are immutable after assembly (see microcodeImage), so the
+ * hash is computed once per image and memoized in a registry keyed on
+ * the image's identity — the same shared-immutable pattern as the
+ * pre-decoded store (ucode/decoded.hh). Thread-safe.
+ */
+uint64_t imageContentHash(const MicrocodeImage &img);
+
 // ----- debug/listing helpers ------------------------------------------
 
 /** Mnemonic for a datapath function (microprogram listings). */
